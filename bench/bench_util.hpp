@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdio>
+
+#include "common/flags.hpp"
+
+namespace btwc {
+
+/**
+ * Shared bench-binary conventions.
+ *
+ * Every figure harness runs with no arguments at a laptop-scale trial
+ * count and accepts:
+ *   --cycles / --trials  override the Monte-Carlo volume
+ *   --paper              restore the paper-scale volume (slow!)
+ *   --seed               RNG seed
+ *   --csv                emit CSV instead of the aligned table
+ */
+inline uint64_t
+bench_cycles(const Flags &flags, uint64_t dflt, uint64_t paper_scale)
+{
+    if (flags.has("cycles")) {
+        return static_cast<uint64_t>(flags.get_int("cycles", dflt));
+    }
+    return flags.get_bool("paper") ? paper_scale : dflt;
+}
+
+inline uint64_t
+bench_trials(const Flags &flags, uint64_t dflt, uint64_t paper_scale)
+{
+    if (flags.has("trials")) {
+        return static_cast<uint64_t>(flags.get_int("trials", dflt));
+    }
+    return flags.get_bool("paper") ? paper_scale : dflt;
+}
+
+inline void
+bench_header(const char *figure, const char *claim)
+{
+    std::printf("== %s ==\n%s\n\n", figure, claim);
+}
+
+} // namespace btwc

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the decode pipeline: per-cycle
+ * Clique decisions, the measurement filter, MWPM and Union-Find
+ * decodes, and the full BTWC system step. These back the paper's
+ * architectural argument that the common case must be cheap: Clique's
+ * per-cycle work is orders of magnitude below MWPM's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/clique.hpp"
+#include "core/filter.hpp"
+#include "core/system.hpp"
+#include "matching/mwpm.hpp"
+#include "matching/union_find.hpp"
+#include "surface/frame.hpp"
+#include "surface/lattice.hpp"
+
+namespace {
+
+using namespace btwc;
+
+/** A random syndrome with roughly `errors` injected data errors. */
+std::vector<uint8_t>
+sample_syndrome(const RotatedSurfaceCode &code, int errors, Rng &rng)
+{
+    ErrorFrame frame(code, CheckType::X);
+    for (int i = 0; i < errors; ++i) {
+        frame.flip(static_cast<int>(rng.next_below(code.num_data())));
+    }
+    std::vector<uint8_t> syndrome;
+    frame.measure_perfect(syndrome);
+    return syndrome;
+}
+
+void
+BM_CliqueDecode(benchmark::State &state)
+{
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const CliqueDecoder clique(code, CheckType::Z);
+    Rng rng(1);
+    std::vector<std::vector<uint8_t>> syndromes;
+    for (int i = 0; i < 64; ++i) {
+        syndromes.push_back(sample_syndrome(code, 2, rng));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(clique.decode(syndromes[i++ & 63]));
+    }
+}
+BENCHMARK(BM_CliqueDecode)->Arg(5)->Arg(9)->Arg(21);
+
+void
+BM_MeasurementFilter(benchmark::State &state)
+{
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    MeasurementFilter filter(code.num_checks(CheckType::Z), 2);
+    Rng rng(2);
+    std::vector<uint8_t> raw(code.num_checks(CheckType::Z), 0);
+    for (auto _ : state) {
+        for (auto &bit : raw) {
+            bit = rng.bernoulli(0.01) ? 1 : 0;
+        }
+        benchmark::DoNotOptimize(filter.push(raw));
+    }
+}
+BENCHMARK(BM_MeasurementFilter)->Arg(9)->Arg(21);
+
+void
+BM_MwpmDecodeSyndrome(benchmark::State &state)
+{
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const MwpmDecoder mwpm(code, CheckType::Z);
+    Rng rng(3);
+    std::vector<std::vector<uint8_t>> syndromes;
+    for (int i = 0; i < 64; ++i) {
+        syndromes.push_back(
+            sample_syndrome(code, state.range(0) / 2, rng));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mwpm.decode_syndrome(syndromes[i++ & 63]));
+    }
+}
+BENCHMARK(BM_MwpmDecodeSyndrome)->Arg(5)->Arg(9)->Arg(21);
+
+void
+BM_UnionFindDecodeSyndrome(benchmark::State &state)
+{
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const UnionFindDecoder uf(code, CheckType::Z);
+    Rng rng(4);
+    std::vector<std::vector<uint8_t>> syndromes;
+    for (int i = 0; i < 64; ++i) {
+        syndromes.push_back(
+            sample_syndrome(code, state.range(0) / 2, rng));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            uf.decode_syndrome(syndromes[i++ & 63]));
+    }
+}
+BENCHMARK(BM_UnionFindDecodeSyndrome)->Arg(5)->Arg(9)->Arg(21);
+
+void
+BM_BtwcSystemStep(benchmark::State &state)
+{
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    BtwcSystem system(code, NoiseParams::uniform(1e-3), SystemConfig{}, 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(system.step());
+    }
+}
+BENCHMARK(BM_BtwcSystemStep)->Arg(5)->Arg(9)->Arg(21);
+
+void
+BM_SpacetimeMwpmWindow(benchmark::State &state)
+{
+    // Full d-round spacetime decode, the off-chip worst case.
+    const int d = static_cast<int>(state.range(0));
+    const RotatedSurfaceCode code(d);
+    const MwpmDecoder mwpm(code, CheckType::Z);
+    Rng rng(6);
+    ErrorFrame frame(code, CheckType::X);
+    std::vector<std::vector<uint8_t>> raw(d + 1);
+    std::vector<DetectionEvent> events;
+    for (int t = 0; t < d; ++t) {
+        frame.inject(5e-3, rng);
+        frame.measure(5e-3, rng, raw[t]);
+    }
+    frame.measure_perfect(raw[d]);
+    for (int t = 0; t <= d; ++t) {
+        for (int c = 0; c < code.num_checks(CheckType::Z); ++c) {
+            const uint8_t prev = t == 0 ? 0 : raw[t - 1][c];
+            if ((raw[t][c] ^ prev) & 1) {
+                events.push_back(DetectionEvent{c, t});
+            }
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mwpm.decode(events, d + 1));
+    }
+}
+BENCHMARK(BM_SpacetimeMwpmWindow)->Arg(5)->Arg(9)->Arg(11);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Machine-sizing scenario: provision the fridge-to-room-temperature
+ * decode link of a 1000-logical-qubit machine.
+ *
+ * Measures the per-qubit off-chip decode probability with the Clique
+ * predecoder in place, prints the demand distribution, and sweeps
+ * provisioning percentiles to find the smallest link that keeps the
+ * execution-time increase under a user-chosen budget (§5 / Fig. 16).
+ *
+ *     ./fleet_provisioning [--distance 11] [--p 0.001] [--qubits 1000]
+ *                          [--budget 0.10]
+ */
+
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "sim/fleet.hpp"
+#include "sim/lifetime.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace btwc;
+    const Flags flags(argc, argv);
+    const int distance = static_cast<int>(flags.get_int("distance", 11));
+    const double p = flags.get_double("p", 1e-3);
+    const int qubits = static_cast<int>(flags.get_int("qubits", 1000));
+    const double budget = flags.get_double("budget", 0.10);
+
+    LifetimeConfig lconfig;
+    lconfig.distance = distance;
+    lconfig.p = p;
+    lconfig.cycles =
+        static_cast<uint64_t>(flags.get_int("cycles", 30000));
+    const double q = run_lifetime(lconfig).offchip_fraction();
+    std::printf("machine: %d logical qubits, d=%d, p=%g\n", qubits,
+                distance, p);
+    std::printf("Clique leaves q=%s of decodes per qubit-cycle for the "
+                "off-chip decoder\n\n",
+                Table::sci(q, 2).c_str());
+
+    FleetConfig fleet;
+    fleet.num_qubits = qubits;
+    fleet.offchip_prob = q;
+    fleet.cycles = 100000;
+    const CountHistogram demand = fleet_demand_histogram(fleet);
+    std::printf("off-chip demand distribution (decodes/cycle): mean "
+                "%.2f, p50 %llu, p99 %llu, p99.99 %llu, max %llu\n\n",
+                demand.mean(),
+                static_cast<unsigned long long>(demand.percentile(0.5)),
+                static_cast<unsigned long long>(demand.percentile(0.99)),
+                static_cast<unsigned long long>(
+                    demand.percentile(0.9999)),
+                static_cast<unsigned long long>(demand.max_value()));
+
+    fleet.cycles = 200000;
+    Table table({"percentile", "bandwidth", "reduction_x",
+                 "exec_increase_%", "within_budget"});
+    uint64_t chosen = 0;
+    double chosen_reduction = 0.0;
+    for (const double percentile : {0.5, 0.9, 0.99, 0.999, 0.9999}) {
+        const uint64_t bandwidth =
+            std::max<uint64_t>(1, demand.percentile(percentile));
+        const FleetRunResult run =
+            run_fleet_with_bandwidth(fleet, bandwidth);
+        const bool diverged = run.work_cycles < fleet.cycles;
+        const bool ok = !diverged && run.exec_time_increase <= budget;
+        if (ok && chosen == 0) {
+            chosen = bandwidth;
+            chosen_reduction = run.bandwidth_reduction;
+        }
+        table.add_row({Table::num(100.0 * percentile, 2),
+                       std::to_string(bandwidth),
+                       Table::num(run.bandwidth_reduction, 1),
+                       diverged ? "diverges"
+                                : Table::num(
+                                      100.0 * run.exec_time_increase, 2),
+                       ok ? "yes" : "no"});
+    }
+    table.print();
+
+    if (chosen) {
+        std::printf("\n=> provision %llu decodes/cycle: %.0fx less "
+                    "off-chip bandwidth than shipping every syndrome, "
+                    "within the %.0f%% runtime budget.\n",
+                    static_cast<unsigned long long>(chosen),
+                    chosen_reduction, 100.0 * budget);
+    } else {
+        std::printf("\n=> no swept percentile met the %.0f%% budget; "
+                    "raise the budget or the provisioning.\n",
+                    100.0 * budget);
+    }
+    return 0;
+}

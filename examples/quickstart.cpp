@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: walk one logical qubit through the BTWC decode pipeline.
+ *
+ * Builds a distance-5 rotated surface code, shows how a trivial error
+ * signature is resolved on-chip by the Clique decoder, how a complex
+ * signature is flagged and handed to the off-chip MWPM decoder, and
+ * runs a short noisy lifetime through the full `BtwcSystem`.
+ *
+ *     ./quickstart [--distance 5] [--p 0.003] [--cycles 2000]
+ */
+
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "core/clique.hpp"
+#include "core/system.hpp"
+#include "matching/mwpm.hpp"
+#include "surface/frame.hpp"
+#include "surface/lattice.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace btwc;
+    const Flags flags(argc, argv);
+    const int d = static_cast<int>(flags.get_int("distance", 5));
+    const double p = flags.get_double("p", 3e-3);
+    const int cycles = static_cast<int>(flags.get_int("cycles", 2000));
+
+    const RotatedSurfaceCode code(d);
+    std::printf("rotated surface code: d=%d, %d data qubits, %d+%d "
+                "checks\n\n",
+                d, code.num_data(), code.num_checks(CheckType::X),
+                code.num_checks(CheckType::Z));
+
+    // --- 1. A trivial (Local-1s) signature, resolved on-chip. ---
+    const CliqueDecoder clique(code, CheckType::Z);
+    ErrorFrame frame(code, CheckType::X);
+    const int lone_qubit = code.data_id(d / 2, d / 2);
+    frame.flip(lone_qubit);
+    std::vector<uint8_t> syndrome;
+    frame.measure_perfect(syndrome);
+    CliqueOutcome outcome = clique.decode(syndrome);
+    std::printf("single X error on data qubit %d -> verdict %s, "
+                "correction:",
+                lone_qubit,
+                outcome.verdict == CliqueVerdict::Trivial ? "TRIVIAL"
+                                                          : "complex");
+    for (const int q : outcome.corrections) {
+        std::printf(" %d", q);
+    }
+    frame.apply(outcome.corrections);
+    std::printf("  (syndrome clear: %s)\n\n",
+                frame.syndrome_clear() ? "yes" : "no");
+
+    // --- 2. A complex signature, handed off-chip to MWPM. ---
+    frame.reset();
+    // A 2-chain: two errors sharing a check leave lonely endpoints.
+    const Check &mid = code.check(CheckType::Z,
+                                  code.num_checks(CheckType::Z) / 2);
+    frame.flip(mid.data[0]);
+    frame.flip(mid.data[3 % mid.data.size()]);
+    frame.measure_perfect(syndrome);
+    outcome = clique.decode(syndrome);
+    std::printf("2-chain through check %d -> verdict %s\n", mid.id,
+                outcome.verdict == CliqueVerdict::Complex ? "COMPLEX"
+                                                          : "trivial");
+    if (outcome.verdict == CliqueVerdict::Complex) {
+        const MwpmDecoder mwpm(code, CheckType::Z);
+        const auto fix = mwpm.decode_syndrome(syndrome);
+        frame.apply_mask(fix.correction);
+        std::printf("off-chip MWPM matched %d defects at weight %lld "
+                    "(syndrome clear: %s)\n\n",
+                    fix.defects, static_cast<long long>(fix.weight),
+                    frame.syndrome_clear() ? "yes" : "no");
+    }
+
+    // --- 3. The full pipeline under phenomenological noise. ---
+    SystemConfig config;
+    config.offchip = OffchipPolicy::Mwpm;
+    BtwcSystem system(code, NoiseParams::uniform(p), config, 42);
+    int zeros = 0;
+    int trivial = 0;
+    int complex_cycles = 0;
+    for (int i = 0; i < cycles; ++i) {
+        switch (system.step().verdict) {
+          case CliqueVerdict::AllZeros:
+            ++zeros;
+            break;
+          case CliqueVerdict::Trivial:
+            ++trivial;
+            break;
+          case CliqueVerdict::Complex:
+            ++complex_cycles;
+            break;
+        }
+    }
+    std::printf("%d noisy cycles at p=%g: %.1f%% all-zeros, %.1f%% "
+                "trivial (on-chip), %.2f%% complex (off-chip)\n",
+                cycles, p, 100.0 * zeros / cycles,
+                100.0 * trivial / cycles,
+                100.0 * complex_cycles / cycles);
+    std::printf("=> off-chip bandwidth eliminated: %.2f%%\n",
+                100.0 * (1.0 - static_cast<double>(complex_cycles) /
+                                   cycles));
+    return 0;
+}

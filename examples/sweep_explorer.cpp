@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unified experiment driver: run any of the library's experiment types
+ * from the command line with full parameter control. Useful for
+ * exploring operating points that the fixed-figure benches don't
+ * sweep.
+ *
+ *     ./sweep_explorer lifetime  --distance 9 --p 0.005 --cycles 50000
+ *     ./sweep_explorer memory    --distance 7 --p 0.008 --p_meas 0.016
+ *                                --weighted --trials 20000
+ *     ./sweep_explorer fleet     --qubits 2000 --q 0.004 --bandwidth 12
+ *     ./sweep_explorer hierarchy --distance 11 --p 0.01 --threshold 2
+ *     ./sweep_explorer hardware  --distance 13 --filter_rounds 3
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/hierarchy.hpp"
+#include "sfq/clique_circuit.hpp"
+#include "sfq/cost.hpp"
+#include "sfq/synth.hpp"
+#include "sim/fleet.hpp"
+#include "sim/lifetime.hpp"
+#include "sim/memory.hpp"
+#include "surface/frame.hpp"
+
+namespace {
+
+using namespace btwc;
+
+int
+run_lifetime_cmd(const Flags &flags)
+{
+    LifetimeConfig config;
+    config.distance = static_cast<int>(flags.get_int("distance", 9));
+    config.p = flags.get_double("p", 5e-3);
+    config.p_meas = flags.get_double("p_meas", -1.0);
+    config.cycles = static_cast<uint64_t>(flags.get_int("cycles", 50000));
+    config.filter_rounds =
+        static_cast<int>(flags.get_int("filter_rounds", 2));
+    config.mode = flags.get_bool("pipeline") ? LifetimeMode::Pipeline
+                                             : LifetimeMode::Signature;
+    config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    const LifetimeStats stats = run_lifetime(config);
+
+    Table table({"metric", "value"});
+    table.add_row({"mode", flags.get_bool("pipeline") ? "pipeline"
+                                                      : "signature"});
+    table.add_row({"cycles", std::to_string(stats.cycles)});
+    table.add_row({"coverage_per_decode_%",
+                   Table::num(100.0 * stats.coverage_per_decode(), 3)});
+    table.add_row({"coverage_per_qubit_cycle_%",
+                   Table::num(100.0 * stats.coverage(), 3)});
+    table.add_row({"onchip_nonzero_%",
+                   Table::num(100.0 * stats.onchip_nonzero_fraction(), 3)});
+    table.add_row({"clique_data_reduction_x",
+                   Table::num(stats.clique_data_reduction(), 1)});
+    table.add_row({"mean_raw_syndrome_weight",
+                   Table::num(stats.raw_weight.mean(), 3)});
+    table.print();
+    return 0;
+}
+
+int
+run_memory_cmd(const Flags &flags)
+{
+    MemoryConfig config;
+    config.distance = static_cast<int>(flags.get_int("distance", 7));
+    config.p = flags.get_double("p", 8e-3);
+    config.p_meas = flags.get_double("p_meas", -1.0);
+    config.max_trials =
+        static_cast<uint64_t>(flags.get_int("trials", 20000));
+    config.target_failures =
+        static_cast<uint64_t>(flags.get_int("failures", 200));
+    config.filter_rounds =
+        static_cast<int>(flags.get_int("filter_rounds", 2));
+    config.weighted_matching = flags.get_bool("weighted");
+    config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+
+    Table table({"decoder", "trials", "failures", "LER", "95%_CI"});
+    for (const DecoderArm arm :
+         {DecoderArm::MwpmOnly, DecoderArm::CliqueMwpm,
+          DecoderArm::UnionFindOnly}) {
+        const MemoryResult result = run_memory_experiment(config, arm);
+        const auto [lo, hi] = result.ler_interval();
+        std::string ci = "[";
+        ci += Table::sci(lo, 1);
+        ci += ",";
+        ci += Table::sci(hi, 1);
+        ci += "]";
+        table.add_row({decoder_arm_name(arm),
+                       std::to_string(result.trials),
+                       std::to_string(result.failures),
+                       Table::sci(result.ler(), 2), std::move(ci)});
+    }
+    table.print();
+    return 0;
+}
+
+int
+run_fleet_cmd(const Flags &flags)
+{
+    FleetConfig config;
+    config.num_qubits = static_cast<int>(flags.get_int("qubits", 1000));
+    config.offchip_prob = flags.get_double("q", 4e-3);
+    config.cycles =
+        static_cast<uint64_t>(flags.get_int("cycles", 200000));
+    config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    const uint64_t bandwidth =
+        static_cast<uint64_t>(flags.get_int("bandwidth", 10));
+    const FleetRunResult run = run_fleet_with_bandwidth(config, bandwidth);
+
+    Table table({"metric", "value"});
+    table.add_row({"bandwidth_decodes_per_cycle",
+                   std::to_string(run.bandwidth)});
+    table.add_row({"bandwidth_reduction_x",
+                   Table::num(run.bandwidth_reduction, 1)});
+    table.add_row({"work_cycles", std::to_string(run.work_cycles)});
+    table.add_row({"stall_cycles", std::to_string(run.stall_cycles)});
+    table.add_row({"max_backlog", std::to_string(run.max_backlog)});
+    table.add_row({"exec_time_increase_%",
+                   run.work_cycles < config.cycles
+                       ? "diverges"
+                       : Table::num(100.0 * run.exec_time_increase, 3)});
+    table.print();
+    return 0;
+}
+
+int
+run_hierarchy_cmd(const Flags &flags)
+{
+    const int distance = static_cast<int>(flags.get_int("distance", 11));
+    const double p = flags.get_double("p", 1e-2);
+    const uint64_t cycles =
+        static_cast<uint64_t>(flags.get_int("cycles", 20000));
+    HierarchyConfig config;
+    config.uf_growth_threshold =
+        static_cast<int>(flags.get_int("threshold", 2));
+
+    const RotatedSurfaceCode code(distance);
+    const HierarchicalDecoder hier(code, CheckType::Z, config);
+    Rng rng(static_cast<uint64_t>(flags.get_int("seed", 1)));
+    ErrorFrame frame(code, CheckType::X);
+    std::vector<uint8_t> syndrome;
+    uint64_t tiers[3] = {0, 0, 0};
+    for (uint64_t i = 0; i < cycles; ++i) {
+        frame.reset();
+        frame.inject(p, rng);
+        frame.measure_perfect(syndrome);
+        ++tiers[static_cast<int>(hier.decode(syndrome).tier)];
+    }
+    Table table({"tier", "decodes", "%"});
+    for (int t = 0; t < 3; ++t) {
+        table.add_row({decoder_tier_name(static_cast<DecoderTier>(t)),
+                       std::to_string(tiers[t]),
+                       Table::num(100.0 * tiers[t] / cycles, 3)});
+    }
+    table.print();
+    return 0;
+}
+
+int
+run_hardware_cmd(const Flags &flags)
+{
+    const int distance = static_cast<int>(flags.get_int("distance", 9));
+    const int rounds = static_cast<int>(flags.get_int("filter_rounds", 2));
+    const RotatedSurfaceCode code(distance);
+    const SynthesisResult synth =
+        synthesize(build_clique_netlist(code, rounds));
+    const ErsfqOperatingPoint op;
+
+    Table table({"metric", "value"});
+    table.add_row({"cells", std::to_string(synth.total_cells)});
+    table.add_row({"splitters", std::to_string(synth.splitters)});
+    table.add_row({"balancing_dffs", std::to_string(synth.balancing_dffs)});
+    table.add_row({"jj_count", std::to_string(synth.jj_count)});
+    table.add_row({"power_uW", Table::num(op.power_uw(synth), 2)});
+    table.add_row({"area_mm2", Table::num(synth.area_mm2(), 3)});
+    table.add_row({"latency_ns",
+                   Table::num(synth.critical_path_ps / 1000.0, 4)});
+    table.add_row({"logic_depth", std::to_string(synth.logic_depth)});
+    table.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace btwc;
+    const Flags flags(argc, argv);
+    const std::string experiment =
+        flags.positional().empty() ? "lifetime" : flags.positional()[0];
+    if (experiment == "lifetime") {
+        return run_lifetime_cmd(flags);
+    }
+    if (experiment == "memory") {
+        return run_memory_cmd(flags);
+    }
+    if (experiment == "fleet") {
+        return run_fleet_cmd(flags);
+    }
+    if (experiment == "hierarchy") {
+        return run_hierarchy_cmd(flags);
+    }
+    if (experiment == "hardware") {
+        return run_hardware_cmd(flags);
+    }
+    std::fprintf(stderr,
+                 "unknown experiment '%s'; one of: lifetime, memory, "
+                 "fleet, hierarchy, hardware\n",
+                 experiment.c_str());
+    return 1;
+}

@@ -1,0 +1,137 @@
+#include "afs/compression.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace btwc {
+
+int
+ceil_log2(int x)
+{
+    int bits = 0;
+    while ((1 << bits) < x) {
+        ++bits;
+    }
+    return bits;
+}
+
+namespace {
+
+/** Append `width` bits of `value` (LSB first) to a bit vector. */
+void
+put_bits(std::vector<uint8_t> &out, uint64_t value, int width)
+{
+    for (int b = 0; b < width; ++b) {
+        out.push_back(static_cast<uint8_t>((value >> b) & 1));
+    }
+}
+
+/** Read `width` bits (LSB first) starting at `pos`. */
+uint64_t
+get_bits(const std::vector<uint8_t> &in, size_t &pos, int width)
+{
+    uint64_t value = 0;
+    for (int b = 0; b < width; ++b) {
+        value |= static_cast<uint64_t>(in[pos++] & 1) << b;
+    }
+    return value;
+}
+
+} // namespace
+
+AfsCompressor::AfsCompressor(int syndrome_bits)
+    : n_(syndrome_bits), index_bits_(ceil_log2(syndrome_bits)),
+      count_bits_(ceil_log2(syndrome_bits + 1))
+{
+    assert(syndrome_bits >= 1);
+}
+
+int
+AfsCompressor::sparse_rep_bits(int k) const
+{
+    if (k == 0) {
+        return 1;  // the Sparse Representation Bit alone
+    }
+    return 1 + count_bits_ + k * index_bits_;
+}
+
+int
+AfsCompressor::run_length_bits(const std::vector<int> &ones) const
+{
+    // Zero-run lengths between set bits, each as a fixed-width field,
+    // plus a leading all-zero flag and a run count.
+    if (ones.empty()) {
+        return 1;
+    }
+    return 1 + count_bits_ +
+           static_cast<int>(ones.size() + 1) * index_bits_;
+}
+
+int
+AfsCompressor::dynamic_bits(const std::vector<int> &ones) const
+{
+    const int sparse = sparse_rep_bits(static_cast<int>(ones.size()));
+    const int rle = run_length_bits(ones);
+    const int raw = n_;
+    return 2 + std::min(raw, std::min(sparse, rle));
+}
+
+int
+AfsCompressor::compressed_bits(Scheme scheme,
+                               const std::vector<int> &ones) const
+{
+    switch (scheme) {
+      case Scheme::Raw:
+        return n_;
+      case Scheme::SparseRep:
+        return sparse_rep_bits(static_cast<int>(ones.size()));
+      case Scheme::RunLength:
+        return run_length_bits(ones);
+      case Scheme::Dynamic:
+        return dynamic_bits(ones);
+    }
+    return n_;
+}
+
+std::vector<uint8_t>
+AfsCompressor::compress_sparse(const std::vector<uint8_t> &syndrome) const
+{
+    assert(static_cast<int>(syndrome.size()) == n_);
+    std::vector<int> ones;
+    for (int i = 0; i < n_; ++i) {
+        if (syndrome[i] & 1) {
+            ones.push_back(i);
+        }
+    }
+    std::vector<uint8_t> out;
+    if (ones.empty()) {
+        out.push_back(0);  // all-zero flag
+        return out;
+    }
+    out.push_back(1);
+    put_bits(out, ones.size(), count_bits_);
+    for (const int idx : ones) {
+        put_bits(out, static_cast<uint64_t>(idx), index_bits_);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+AfsCompressor::decompress_sparse(const std::vector<uint8_t> &bitstream) const
+{
+    std::vector<uint8_t> syndrome(static_cast<size_t>(n_), 0);
+    size_t pos = 0;
+    const uint8_t nonzero = bitstream[pos++] & 1;
+    if (!nonzero) {
+        return syndrome;
+    }
+    const uint64_t k = get_bits(bitstream, pos, count_bits_);
+    for (uint64_t i = 0; i < k; ++i) {
+        const uint64_t idx = get_bits(bitstream, pos, index_bits_);
+        syndrome[idx] = 1;
+    }
+    return syndrome;
+}
+
+} // namespace btwc

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace btwc {
+
+/**
+ * Syndrome compression schemes modeled after AFS [17] (§7.2).
+ *
+ * AFS ships every cycle's syndrome off-chip but compresses it first.
+ * Its most effective scheme is the *sparse representation*: a leading
+ * flag bit marks the all-zero syndrome; otherwise the indices of the
+ * set bits are transmitted, costing 1 + O(k log2 N) bits for k set
+ * bits out of N. AFS additionally proposes choosing dynamically among
+ * several schemes per cycle; we model the dynamic choice among sparse
+ * representation, zero-run-length coding, and the raw bitmap, paying
+ * a 2-bit selector.
+ *
+ * The decompression routines exist so the codec can be round-trip
+ * tested; Fig. 13 consumes only `*_bits` sizes.
+ */
+class AfsCompressor
+{
+  public:
+    /** Scheme selector. */
+    enum class Scheme : uint8_t { Raw, SparseRep, RunLength, Dynamic };
+
+    /** @param syndrome_bits N, the uncompressed syndrome width */
+    explicit AfsCompressor(int syndrome_bits);
+
+    /** Uncompressed syndrome width N. */
+    int syndrome_bits() const { return n_; }
+
+    /** Bits needed to address one syndrome position, ceil(log2 N). */
+    int index_bits() const { return index_bits_; }
+
+    /** Sparse-representation size for a syndrome with k set bits. */
+    int sparse_rep_bits(int k) const;
+
+    /** Zero-run-length size for the given set-bit positions (sorted). */
+    int run_length_bits(const std::vector<int> &ones) const;
+
+    /** Dynamic best-of-three size (2 selector bits + minimum). */
+    int dynamic_bits(const std::vector<int> &ones) const;
+
+    /** Size under an explicit scheme. */
+    int compressed_bits(Scheme scheme, const std::vector<int> &ones) const;
+
+    /** Encode a syndrome under the sparse representation. */
+    std::vector<uint8_t> compress_sparse(
+        const std::vector<uint8_t> &syndrome) const;
+
+    /** Invert `compress_sparse`. */
+    std::vector<uint8_t> decompress_sparse(
+        const std::vector<uint8_t> &bitstream) const;
+
+  private:
+    int n_;
+    int index_bits_;
+    int count_bits_;
+};
+
+/** ceil(log2(x)) for x >= 1 (0 maps to 0). */
+int ceil_log2(int x);
+
+} // namespace btwc

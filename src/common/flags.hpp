@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace btwc {
+
+/**
+ * Minimal command line flag parser for bench and example binaries.
+ *
+ * Accepts `--name=value`, `--name value` and boolean `--name` forms.
+ * Unknown positional arguments are collected and can be inspected by
+ * the caller. Every bench binary documents its flags via `usage()`.
+ */
+class Flags
+{
+  public:
+    /** Parse argv; aborts with a usage message on malformed input. */
+    Flags(int argc, const char *const *argv);
+
+    /** True if the flag was present on the command line. */
+    bool has(const std::string &name) const;
+
+    /** String flag with default. */
+    std::string get(const std::string &name, const std::string &def) const;
+
+    /** Integer flag with default. */
+    int64_t get_int(const std::string &name, int64_t def) const;
+
+    /** Floating point flag with default. */
+    double get_double(const std::string &name, double def) const;
+
+    /** Boolean flag: present without value, or with =true/=false. */
+    bool get_bool(const std::string &name, bool def = false) const;
+
+    /** Comma-separated list of integers. */
+    std::vector<int64_t> get_int_list(const std::string &name,
+                                      std::vector<int64_t> def) const;
+
+    /** Comma-separated list of doubles. */
+    std::vector<double> get_double_list(const std::string &name,
+                                        std::vector<double> def) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace btwc

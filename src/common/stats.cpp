@@ -1,0 +1,137 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace btwc {
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+CountHistogram::add(uint64_t v, uint64_t weight)
+{
+    if (v >= counts_.size()) {
+        counts_.resize(v + 1, 0);
+    }
+    counts_[v] += weight;
+    total_ += weight;
+}
+
+uint64_t
+CountHistogram::max_value() const
+{
+    for (size_t i = counts_.size(); i-- > 0;) {
+        if (counts_[i] > 0) {
+            return i;
+        }
+    }
+    return 0;
+}
+
+double
+CountHistogram::mean() const
+{
+    if (total_ == 0) {
+        return 0.0;
+    }
+    double acc = 0.0;
+    for (size_t v = 0; v < counts_.size(); ++v) {
+        acc += static_cast<double>(v) * static_cast<double>(counts_[v]);
+    }
+    return acc / static_cast<double>(total_);
+}
+
+uint64_t
+CountHistogram::percentile(double fraction) const
+{
+    if (total_ == 0) {
+        return 0;
+    }
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const double target = fraction * static_cast<double>(total_);
+    uint64_t cumulative = 0;
+    for (size_t v = 0; v < counts_.size(); ++v) {
+        cumulative += counts_[v];
+        if (static_cast<double>(cumulative) >= target && counts_[v] > 0) {
+            return v;
+        }
+        if (static_cast<double>(cumulative) >= target) {
+            // Mass reached between populated bins; keep scanning to the
+            // next populated value.
+            for (size_t w = v; w < counts_.size(); ++w) {
+                if (counts_[w] > 0) {
+                    return w;
+                }
+            }
+        }
+    }
+    return max_value();
+}
+
+double
+CountHistogram::cdf(uint64_t v) const
+{
+    if (total_ == 0) {
+        return 0.0;
+    }
+    uint64_t cumulative = 0;
+    const size_t limit = std::min<size_t>(counts_.size(), v + 1);
+    for (size_t i = 0; i < limit; ++i) {
+        cumulative += counts_[i];
+    }
+    return static_cast<double>(cumulative) / static_cast<double>(total_);
+}
+
+std::pair<double, double>
+wilson_interval(uint64_t successes, uint64_t trials, double z)
+{
+    if (trials == 0) {
+        return {0.0, 1.0};
+    }
+    const double n = static_cast<double>(trials);
+    const double phat = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = phat + z2 / (2.0 * n);
+    const double margin =
+        z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+    return {(center - margin) / denom, (center + margin) / denom};
+}
+
+double
+percentile_of(std::vector<double> values, double fraction)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    const size_t rank = static_cast<size_t>(
+        std::ceil(fraction * static_cast<double>(values.size())));
+    const size_t index = rank == 0 ? 0 : rank - 1;
+    return values[std::min(index, values.size() - 1)];
+}
+
+} // namespace btwc

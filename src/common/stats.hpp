@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace btwc {
+
+/**
+ * Streaming mean / variance accumulator (Welford's algorithm).
+ *
+ * Used by the Monte-Carlo harnesses to accumulate per-cycle metrics
+ * without storing the full sample vector.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations added so far. */
+    size_t count() const { return count_; }
+
+    /** Sample mean (0 if empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 if fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Integer-valued histogram with exact percentile queries.
+ *
+ * The bandwidth-provisioning analysis needs exact percentiles of the
+ * per-cycle off-chip decode counts, which are small non-negative
+ * integers, so a dense count array is both exact and compact.
+ */
+class CountHistogram
+{
+  public:
+    /** Record one observation of value v. */
+    void add(uint64_t v, uint64_t weight = 1);
+
+    /** Total number of recorded observations. */
+    uint64_t total() const { return total_; }
+
+    /** Largest recorded value (0 if empty). */
+    uint64_t max_value() const;
+
+    /** Mean of the recorded values. */
+    double mean() const;
+
+    /**
+     * Smallest value v such that at least `fraction` of the recorded
+     * mass is <= v. `fraction` is clamped to [0, 1]; an empty
+     * histogram yields 0.
+     */
+    uint64_t percentile(double fraction) const;
+
+    /** Fraction of observations with value <= v. */
+    double cdf(uint64_t v) const;
+
+    /** Raw counts indexed by value. */
+    const std::vector<uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Wilson score interval for a binomial proportion.
+ *
+ * @param successes number of successes observed
+ * @param trials    number of trials (must be > 0 for a useful result)
+ * @param z         normal quantile (1.96 for 95% confidence)
+ * @return {lower, upper} bounds on the true proportion
+ */
+std::pair<double, double> wilson_interval(uint64_t successes, uint64_t trials,
+                                          double z = 1.96);
+
+/**
+ * Exact percentile of an unsorted sample (nearest-rank definition).
+ * The input vector is copied; an empty input yields 0.
+ */
+double percentile_of(std::vector<double> values, double fraction);
+
+} // namespace btwc

@@ -1,0 +1,95 @@
+#include "common/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace btwc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::sci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "" : "  ");
+            out << row[c];
+            for (size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+                out << ' ';
+            }
+        }
+        out << '\n';
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+std::string
+Table::to_csv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "" : ",") << row[c];
+        }
+        out << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_) {
+        emit(row);
+    }
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(to_string().c_str(), stdout);
+}
+
+} // namespace btwc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace btwc {
+
+/**
+ * Column-aligned plain-text table writer.
+ *
+ * Every bench binary prints the rows/series of the paper figure it
+ * reproduces through this class so that the output format is uniform
+ * and digestible both by humans and by the EXPERIMENTS.md tooling.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; the cell count must match the header count. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 4);
+
+    /** Convenience: format a double in scientific notation. */
+    static std::string sci(double v, int precision = 2);
+
+    /** Render the table, column-aligned, with a header separator. */
+    std::string to_string() const;
+
+    /** Render the table as CSV. */
+    std::string to_csv() const;
+
+    /** Print `to_string()` to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace btwc

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace btwc {
+
+/**
+ * Statistical off-chip bandwidth allocator (§5.1 of the paper).
+ *
+ * Collects the distribution of per-cycle off-chip decode requests
+ * across the machine's logical qubits and provisions the off-chip link
+ * for a chosen percentile of that distribution (in decodes per cycle).
+ * Provisioning at the mean leads to an unbounded decode backlog; the
+ * paper provisions at high percentiles (e.g. the 99th) and absorbs the
+ * residual overflow with execution stalling.
+ */
+class BandwidthAllocator
+{
+  public:
+    /** Record the off-chip decode demand of one cycle. */
+    void record_cycle(uint64_t offchip_requests)
+    {
+        demand_.add(offchip_requests);
+    }
+
+    /** Number of recorded cycles. */
+    uint64_t cycles() const { return demand_.total(); }
+
+    /** Mean off-chip decodes per cycle. */
+    double mean_demand() const { return demand_.mean(); }
+
+    /**
+     * Provisioned bandwidth, in decodes per cycle, covering
+     * `percentile` (in [0, 1]) of the recorded cycles. Never returns
+     * less than 1 so the backlog can always drain.
+     */
+    uint64_t provision(double percentile) const
+    {
+        const uint64_t level = demand_.percentile(percentile);
+        return level == 0 ? 1 : level;
+    }
+
+    /** The raw demand histogram. */
+    const CountHistogram &histogram() const { return demand_; }
+
+  private:
+    CountHistogram demand_;
+};
+
+} // namespace btwc

@@ -1,0 +1,89 @@
+#include "core/clique.hpp"
+
+namespace btwc {
+
+CliqueDecoder::CliqueDecoder(const RotatedSurfaceCode &code,
+                             CheckType detector)
+    : code_(code), detector_(detector)
+{
+}
+
+bool
+CliqueDecoder::clique_is_complex(int check,
+                                 const std::vector<uint8_t> &syndrome) const
+{
+    if (!(syndrome[check] & 1)) {
+        return false;  // inactive cliques never raise the flag
+    }
+    int fired = 0;
+    for (const CliqueNeighbor &nb : code_.clique_neighbors(detector_, check)) {
+        fired += syndrome[nb.check] & 1;
+    }
+    if (fired % 2 == 1) {
+        return false;  // odd neighborhood parity: locally decodable
+    }
+    if (fired == 0 && !code_.boundary_data(detector_, check).empty()) {
+        return false;  // boundary special case (1+1 / 1+2 cliques)
+    }
+    return true;
+}
+
+CliqueOutcome
+CliqueDecoder::decode(const std::vector<uint8_t> &syndrome) const
+{
+    CliqueOutcome out;
+    const int num_checks = code_.num_checks(detector_);
+    bool any_fired = false;
+    // Correction wires are the AND of the two adjacent cliques' fired
+    // bits, so a data qubit is asserted at most once even when two
+    // cliques cover the same pair (Fig. 5, bottom).
+    std::vector<uint8_t> assert_mask;
+
+    for (int c = 0; c < num_checks; ++c) {
+        if (!(syndrome[c] & 1)) {
+            continue;
+        }
+        any_fired = true;
+        int fired = 0;
+        const auto &nbrs = code_.clique_neighbors(detector_, c);
+        for (const CliqueNeighbor &nb : nbrs) {
+            fired += syndrome[nb.check] & 1;
+        }
+        if (fired % 2 == 1) {
+            if (assert_mask.empty()) {
+                assert_mask.assign(code_.num_data(), 0);
+            }
+            for (const CliqueNeighbor &nb : nbrs) {
+                if (syndrome[nb.check] & 1) {
+                    assert_mask[nb.shared_data] = 1;
+                }
+            }
+            continue;
+        }
+        const auto &bdata = code_.boundary_data(detector_, c);
+        if (fired == 0 && !bdata.empty()) {
+            if (assert_mask.empty()) {
+                assert_mask.assign(code_.num_data(), 0);
+            }
+            assert_mask[bdata.front()] = 1;
+            continue;
+        }
+        out.verdict = CliqueVerdict::Complex;
+        out.corrections.clear();
+        return out;
+    }
+
+    if (!any_fired) {
+        out.verdict = CliqueVerdict::AllZeros;
+        return out;
+    }
+    out.verdict = CliqueVerdict::Trivial;
+    for (int q = 0; q < code_.num_data(); ++q) {
+        if (!assert_mask.empty() && assert_mask[q]) {
+            out.corrections.push_back(q);
+        }
+    }
+    return out;
+}
+
+} // namespace btwc

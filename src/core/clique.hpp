@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/** Classification of one cycle's (filtered) error signature. */
+enum class CliqueVerdict : uint8_t
+{
+    AllZeros = 0,  ///< no check fired: nothing to do
+    Trivial = 1,   ///< all fired cliques locally decodable (Local-1s)
+    Complex = 2,   ///< at least one clique flagged COMPLEX: go off-chip
+};
+
+/** Outcome of one Clique decode. */
+struct CliqueOutcome
+{
+    CliqueVerdict verdict = CliqueVerdict::AllZeros;
+    /** Data qubits to flip; populated only for Trivial verdicts. */
+    std::vector<int> corrections;
+};
+
+/**
+ * The on-chip Clique decoder (§4 of the paper) for one check type.
+ *
+ * For every fired check `a` the decoder inspects the clique of
+ * same-type neighbor checks N(a) (Fig. 5):
+ *
+ *  - odd |fired(N(a))|: trivial; for each fired neighbor the shared
+ *    data qubit is corrected (the per-data-qubit AND of Fig. 5);
+ *  - |fired(N(a))| == 0 and `a` owns a boundary half-edge: trivial;
+ *    one boundary data qubit is corrected (this generalizes the 1+1
+ *    and 1+2 corner/edge special cases in Fig. 5 -- flipping either
+ *    boundary qubit of a 1+2 clique is equivalent up to a stabilizer);
+ *  - otherwise: COMPLEX; the cycle's syndrome must go off-chip.
+ *
+ * The decision logic per clique is a handful of XOR/AND/NOT gates
+ * (Fig. 6); `sfq/clique_circuit.hpp` emits exactly that netlist.
+ */
+class CliqueDecoder
+{
+  public:
+    /**
+     * @param code     the surface code lattice
+     * @param detector which check type's syndromes are decoded
+     */
+    CliqueDecoder(const RotatedSurfaceCode &code, CheckType detector);
+
+    /** The check type this instance decodes. */
+    CheckType detector() const { return detector_; }
+
+    /**
+     * Decode one (filtered) syndrome: one byte per check of the
+     * configured type, nonzero = fired.
+     */
+    CliqueOutcome decode(const std::vector<uint8_t> &syndrome) const;
+
+    /**
+     * Gate-level decision for a single clique: true when check `a`
+     * would raise the COMPLEX flag given the syndrome. Exposed for the
+     * hardware generator and the exhaustive unit tests.
+     */
+    bool clique_is_complex(int check,
+                           const std::vector<uint8_t> &syndrome) const;
+
+  private:
+    const RotatedSurfaceCode &code_;
+    CheckType detector_;
+};
+
+} // namespace btwc

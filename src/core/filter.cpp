@@ -1,0 +1,51 @@
+#include "core/filter.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace btwc {
+
+MeasurementFilter::MeasurementFilter(int num_checks, int rounds)
+    : rounds_(rounds),
+      history_(static_cast<size_t>(rounds),
+               std::vector<uint8_t>(static_cast<size_t>(num_checks), 0)),
+      filtered_(static_cast<size_t>(num_checks), 0)
+{
+    assert(rounds >= 1);
+}
+
+const std::vector<uint8_t> &
+MeasurementFilter::push(const std::vector<uint8_t> &raw)
+{
+    assert(raw.size() == filtered_.size());
+    history_[head_] = raw;
+    head_ = (head_ + 1) % rounds_;
+    if (pushed_ < rounds_) {
+        ++pushed_;
+    }
+    if (pushed_ < rounds_) {
+        std::fill(filtered_.begin(), filtered_.end(), 0);
+        return filtered_;
+    }
+    for (size_t c = 0; c < filtered_.size(); ++c) {
+        uint8_t all = 1;
+        for (const auto &round : history_) {
+            all &= round[c];
+        }
+        filtered_[c] = all & 1;
+    }
+    return filtered_;
+}
+
+void
+MeasurementFilter::reset()
+{
+    pushed_ = 0;
+    head_ = 0;
+    for (auto &round : history_) {
+        std::fill(round.begin(), round.end(), 0);
+    }
+    std::fill(filtered_.begin(), filtered_.end(), 0);
+}
+
+} // namespace btwc

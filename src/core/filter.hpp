@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace btwc {
+
+/**
+ * Multi-round measurement-error filter (Fig. 7 of the paper).
+ *
+ * A syndrome bit is forwarded to the Clique logic only when it has
+ * been asserted in each of the last `rounds` measurement rounds, which
+ * suppresses transient measurement flips. The paper's primary design
+ * uses two rounds; more rounds raise robustness at extra hardware cost
+ * (per additional round: one DFF plus a little glue per check, see
+ * `sfq/clique_circuit.hpp`).
+ *
+ * Measurement errors that stick for `rounds` consecutive cycles pass
+ * the filter as isolated detection events; the Clique logic then
+ * flags them COMPLEX and they are resolved off-chip (Fig. 8d).
+ */
+class MeasurementFilter
+{
+  public:
+    /**
+     * @param num_checks syndrome width
+     * @param rounds     persistence window (>= 1; 1 disables filtering)
+     */
+    explicit MeasurementFilter(int num_checks, int rounds = 2);
+
+    /**
+     * Push one raw measurement round and return the filtered syndrome
+     * (AND over the last `rounds` raw rounds; rounds before the first
+     * push count as all-zero).
+     */
+    const std::vector<uint8_t> &push(const std::vector<uint8_t> &raw);
+
+    /** Most recent filtered syndrome. */
+    const std::vector<uint8_t> &filtered() const { return filtered_; }
+
+    /** Forget all history. */
+    void reset();
+
+    /** Configured persistence window. */
+    int rounds() const { return rounds_; }
+
+  private:
+    int rounds_;
+    int head_ = 0;
+    int pushed_ = 0;
+    std::vector<std::vector<uint8_t>> history_;
+    std::vector<uint8_t> filtered_;
+};
+
+} // namespace btwc

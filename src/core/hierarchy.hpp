@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clique.hpp"
+#include "matching/mwpm.hpp"
+#include "matching/union_find.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/** Which tier of the decode hierarchy resolved a signature. */
+enum class DecoderTier : uint8_t
+{
+    Clique = 0,     ///< on-chip combinational logic (tier 0)
+    UnionFind = 1,  ///< mid-tier cluster decoder (tier 1)
+    Mwpm = 2,       ///< full matching decoder (final tier)
+};
+
+/** Display name of a tier. */
+const char *decoder_tier_name(DecoderTier tier);
+
+/** Configuration of the decode hierarchy. */
+struct HierarchyConfig
+{
+    /**
+     * Escalate from Union-Find to MWPM when the cluster stage needs
+     * more than this many half-edge growth iterations. Small clusters
+     * (isolated 2-chains, sticky measurement errors) finish in <= 2
+     * iterations; long chains and tangles keep growing. 0 disables
+     * the Union-Find tier entirely (Clique -> MWPM, the paper's
+     * baseline architecture).
+     */
+    int uf_growth_threshold = 2;
+};
+
+/**
+ * The §8.1 "deeper hierarchy" extension: Clique -> Union-Find -> MWPM.
+ *
+ * The paper's architecture hands every COMPLEX signature to the
+ * full-cost matching decoder. Its future-work section suggests
+ * specializing a deeper hierarchy instead; the natural mid-tier is the
+ * Union-Find decoder, which resolves *moderately* complex signatures
+ * (short chains, sticky measurement errors) at almost-linear cost and
+ * can itself detect -- via its cluster growth effort -- when a
+ * signature deserves the exact matcher.
+ *
+ * Decode contract: the returned correction always clears the input
+ * syndrome (perfect-measurement single round); the tier tells the
+ * caller which stage paid for it. In the off-chip-bandwidth picture,
+ * only the Mwpm tier leaves the chip.
+ */
+class HierarchicalDecoder
+{
+  public:
+    /** Outcome of one hierarchical decode. */
+    struct Result
+    {
+        DecoderTier tier = DecoderTier::Clique;
+        std::vector<uint8_t> correction;  ///< per-data-qubit flip mask
+        int uf_growth_rounds = 0;         ///< effort seen by the UF tier
+    };
+
+    HierarchicalDecoder(const RotatedSurfaceCode &code, CheckType detector,
+                        HierarchyConfig config = {});
+
+    /** The check type this hierarchy decodes. */
+    CheckType detector() const { return detector_; }
+
+    /** Active configuration. */
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Decode one (filtered) syndrome through the hierarchy. */
+    Result decode(const std::vector<uint8_t> &syndrome) const;
+
+  private:
+    const RotatedSurfaceCode &code_;
+    CheckType detector_;
+    HierarchyConfig config_;
+    CliqueDecoder clique_;
+    UnionFindDecoder union_find_;
+    MwpmDecoder mwpm_;
+};
+
+} // namespace btwc

@@ -1,0 +1,82 @@
+#include "core/system.hpp"
+
+namespace btwc {
+
+BtwcSystem::BtwcSystem(const RotatedSurfaceCode &code, NoiseParams noise,
+                       SystemConfig config, uint64_t seed)
+    : code_(code), noise_(noise), config_(config), rng_(seed)
+{
+    const CheckType error_types[2] = {CheckType::X, CheckType::Z};
+    for (const CheckType err : error_types) {
+        frames_.emplace_back(code_, err);
+        halves_.emplace_back(code_, detector_of_error(err),
+                             config_.filter_rounds);
+    }
+}
+
+CycleReport
+BtwcSystem::step()
+{
+    CycleReport report;
+    const int num_types = config_.track_both_types ? 2 : 1;
+
+    // Phase 1: noise injection + noisy measurement + filtering +
+    // Clique classification for each half.
+    CliqueOutcome outcomes[2];
+    for (int t = 0; t < num_types; ++t) {
+        ErrorFrame &frame = frames_[t];
+        Half &half = halves_[t];
+        frame.inject(noise_.p_data, rng_);
+        frame.measure(noise_.p_meas, rng_, half.raw);
+        for (const uint8_t bit : half.raw) {
+            report.raw_weight += bit & 1;
+        }
+        const std::vector<uint8_t> &filtered = half.filter.push(half.raw);
+        outcomes[t] = half.clique.decode(filtered);
+        report.type_verdict[static_cast<int>(frame.detector())] =
+            outcomes[t].verdict;
+    }
+
+    // Combined verdict over both halves: the logical qubit's syndrome
+    // goes off-chip when either half raises the COMPLEX flag.
+    report.verdict = CliqueVerdict::AllZeros;
+    for (int t = 0; t < num_types; ++t) {
+        if (outcomes[t].verdict == CliqueVerdict::Complex) {
+            report.verdict = CliqueVerdict::Complex;
+        } else if (outcomes[t].verdict == CliqueVerdict::Trivial &&
+                   report.verdict == CliqueVerdict::AllZeros) {
+            report.verdict = CliqueVerdict::Trivial;
+        }
+    }
+    report.offchip = report.verdict == CliqueVerdict::Complex;
+
+    // Phase 2: apply corrections. Trivial halves are corrected on-chip
+    // by Clique; complex halves are resolved off-chip.
+    for (int t = 0; t < num_types; ++t) {
+        ErrorFrame &frame = frames_[t];
+        Half &half = halves_[t];
+        switch (outcomes[t].verdict) {
+          case CliqueVerdict::AllZeros:
+            break;
+          case CliqueVerdict::Trivial:
+            frame.apply(outcomes[t].corrections);
+            report.clique_corrections +=
+                static_cast<int>(outcomes[t].corrections.size());
+            break;
+          case CliqueVerdict::Complex:
+            if (config_.offchip == OffchipPolicy::Oracle) {
+                frame.reset();
+            } else {
+                const MwpmDecoder::Result fix =
+                    half.mwpm.decode_syndrome(half.filter.filtered());
+                frame.apply_mask(fix.correction);
+            }
+            break;
+        }
+    }
+
+    ++cycles_;
+    return report;
+}
+
+} // namespace btwc

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/clique.hpp"
+#include "core/filter.hpp"
+#include "matching/mwpm.hpp"
+#include "surface/frame.hpp"
+#include "surface/lattice.hpp"
+#include "surface/noise.hpp"
+
+namespace btwc {
+
+/**
+ * How the rare complex (off-chip) decodes are resolved inside the
+ * lifetime simulator.
+ *
+ * `Mwpm` feeds the two-round-agreed (filtered) syndrome to the MWPM
+ * decoder, exactly the hand-over the paper describes. `Oracle` clears
+ * the true error state instead; it is statistically indistinguishable
+ * for the distribution/coverage/bandwidth metrics (validated by the
+ * test suite) and orders of magnitude faster at the d = 81
+ * configurations of Fig. 4.
+ */
+enum class OffchipPolicy : uint8_t { Oracle = 0, Mwpm = 1 };
+
+/** Configuration of a single-logical-qubit BTWC pipeline. */
+struct SystemConfig
+{
+    int filter_rounds = 2;                       ///< Fig. 7 window
+    OffchipPolicy offchip = OffchipPolicy::Oracle;
+    bool track_both_types = true;                ///< decode X and Z halves
+};
+
+/** What happened in one cycle of a BTWC pipeline. */
+struct CycleReport
+{
+    /** Combined verdict: Complex dominates, then Trivial, then AllZeros. */
+    CliqueVerdict verdict = CliqueVerdict::AllZeros;
+    /** Verdict of each half (indexed by CheckType of the detector). */
+    CliqueVerdict type_verdict[2] = {CliqueVerdict::AllZeros,
+                                     CliqueVerdict::AllZeros};
+    /** True when the cycle's syndrome had to go off-chip. */
+    bool offchip = false;
+    /** Fired bits in the cycle's raw syndrome, both halves (AFS input). */
+    int raw_weight = 0;
+    /** On-chip corrections applied by Clique this cycle. */
+    int clique_corrections = 0;
+};
+
+/**
+ * The full BTWC decode pipeline of one logical qubit (Fig. 2):
+ * phenomenological noise -> noisy syndrome measurement -> multi-round
+ * measurement filter -> Clique decoder -> (rare) off-chip MWPM.
+ *
+ * `step()` advances one code cycle and reports the classification the
+ * bandwidth allocator consumes. The bandwidth/stall machinery lives in
+ * `core/bandwidth.hpp` / `core/stall.hpp` and the multi-qubit machine
+ * model in `sim/fleet.hpp`.
+ */
+class BtwcSystem
+{
+  public:
+    BtwcSystem(const RotatedSurfaceCode &code, NoiseParams noise,
+               SystemConfig config, uint64_t seed);
+
+    /** Advance one noisy cycle through the full pipeline. */
+    CycleReport step();
+
+    /** Number of cycles executed. */
+    uint64_t cycles() const { return cycles_; }
+
+    /** The underlying code. */
+    const RotatedSurfaceCode &code() const { return code_; }
+
+    /** Error frame of one half (by *error* type). */
+    const ErrorFrame &frame(CheckType error_type) const
+    {
+        return frames_[static_cast<int>(error_type)];
+    }
+
+    /** Active configuration. */
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    struct Half
+    {
+        Half(const RotatedSurfaceCode &code, CheckType detector,
+             int filter_rounds)
+            : clique(code, detector), mwpm(code, detector),
+              filter(code.num_checks(detector), filter_rounds)
+        {
+        }
+
+        CliqueDecoder clique;
+        MwpmDecoder mwpm;
+        MeasurementFilter filter;
+        std::vector<uint8_t> raw;
+    };
+
+    const RotatedSurfaceCode &code_;
+    NoiseParams noise_;
+    SystemConfig config_;
+    Rng rng_;
+    std::vector<ErrorFrame> frames_;  ///< indexed by error type
+    std::vector<Half> halves_;        ///< indexed by error type
+    uint64_t cycles_ = 0;
+};
+
+} // namespace btwc

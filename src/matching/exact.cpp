@@ -1,0 +1,82 @@
+#include "matching/exact.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace btwc {
+
+namespace {
+constexpr int64_t kUnreachable = int64_t(1) << 60;
+}
+
+int64_t
+exact_min_weight_perfect(int n,
+                         const std::vector<std::vector<int64_t>> &weights)
+{
+    assert(n >= 0 && n % 2 == 0 && n <= 24);
+    if (n == 0) {
+        return 0;
+    }
+    const size_t size = size_t(1) << n;
+    std::vector<int64_t> best(size, kUnreachable);
+    best[0] = 0;
+    for (size_t mask = 1; mask < size; ++mask) {
+        const int i = __builtin_ctzll(mask);
+        if (__builtin_popcountll(mask) % 2 != 0) {
+            continue;
+        }
+        const size_t rest = mask ^ (size_t(1) << i);
+        int64_t acc = kUnreachable;
+        for (size_t sub = rest; sub != 0; sub &= sub - 1) {
+            const int j = __builtin_ctzll(sub);
+            if (weights[i][j] < 0) {
+                continue;
+            }
+            const size_t prev = rest ^ (size_t(1) << j);
+            if (best[prev] < kUnreachable) {
+                const int64_t cand = best[prev] + weights[i][j];
+                acc = cand < acc ? cand : acc;
+            }
+        }
+        best[mask] = acc;
+    }
+    const int64_t result = best[size - 1];
+    return result >= kUnreachable ? -1 : result;
+}
+
+int64_t
+exact_min_weight_with_boundary(int n,
+                               const std::vector<std::vector<int64_t>> &weights,
+                               const std::vector<int64_t> &boundary)
+{
+    assert(n >= 0 && n <= 24);
+    if (n == 0) {
+        return 0;
+    }
+    const size_t size = size_t(1) << n;
+    std::vector<int64_t> best(size, kUnreachable);
+    best[0] = 0;
+    for (size_t mask = 1; mask < size; ++mask) {
+        const int i = __builtin_ctzll(mask);
+        const size_t rest = mask ^ (size_t(1) << i);
+        int64_t acc = kUnreachable;
+        if (best[rest] < kUnreachable) {
+            acc = best[rest] + boundary[i];
+        }
+        for (size_t sub = rest; sub != 0; sub &= sub - 1) {
+            const int j = __builtin_ctzll(sub);
+            if (weights[i][j] < 0) {
+                continue;
+            }
+            const size_t prev = rest ^ (size_t(1) << j);
+            if (best[prev] < kUnreachable) {
+                const int64_t cand = best[prev] + weights[i][j];
+                acc = cand < acc ? cand : acc;
+            }
+        }
+        best[mask] = acc;
+    }
+    return best[size - 1];
+}
+
+} // namespace btwc

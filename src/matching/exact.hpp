@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace btwc {
+
+/**
+ * Brute-force exact minimum-weight perfect matching (subset DP).
+ *
+ * O(2^n * n) time; practical for n <= ~22. Used as the correctness
+ * oracle for the blossom implementation and as an alternative decoder
+ * backend in cross-validation tests.
+ *
+ * @param n       vertex count (even)
+ * @param weights dense matrix; negative entries mark missing edges
+ * @return the minimum total weight, or -1 if no perfect matching
+ */
+int64_t exact_min_weight_perfect(
+    int n, const std::vector<std::vector<int64_t>> &weights);
+
+/**
+ * Exact minimum-weight matching where every vertex is either paired
+ * with another vertex at cost weights[u][v] or retired to the boundary
+ * at cost boundary[u]. This matches the structure of surface-code
+ * defect matching. O(2^n * n); n <= ~22.
+ *
+ * @return minimum total cost (always feasible: all-boundary works)
+ */
+int64_t exact_min_weight_with_boundary(
+    int n, const std::vector<std::vector<int64_t>> &weights,
+    const std::vector<int64_t> &boundary);
+
+} // namespace btwc

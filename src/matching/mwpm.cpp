@@ -1,0 +1,184 @@
+#include "matching/mwpm.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+#include "matching/blossom.hpp"
+
+namespace btwc {
+
+namespace {
+constexpr int kNoNode = -1;
+}
+
+int
+log_likelihood_weight(double p, double scale)
+{
+    assert(p > 0.0 && p < 1.0);
+    const double w = scale * std::log((1.0 - p) / p);
+    return w < 1.0 ? 1 : static_cast<int>(std::lround(w));
+}
+
+MwpmDecoder::MwpmDecoder(const RotatedSurfaceCode &code, CheckType detector,
+                         int space_weight, int time_weight)
+    : code_(code), detector_(detector),
+      num_checks_(code.num_checks(detector)),
+      space_weight_(space_weight), time_weight_(time_weight)
+{
+    assert(space_weight >= 1 && time_weight >= 1);
+}
+
+MwpmDecoder::Result
+MwpmDecoder::decode(const std::vector<DetectionEvent> &events,
+                    int rounds) const
+{
+    Result result;
+    result.correction.assign(code_.num_data(), 0);
+    result.defects = static_cast<int>(events.size());
+    if (events.empty()) {
+        return result;
+    }
+    assert(rounds >= 1);
+
+    const int k = static_cast<int>(events.size());
+    const int num_nodes = rounds * num_checks_;
+
+    // Per-defect Dijkstra over the spacetime graph: distances to every
+    // node plus parent pointers for path recovery. parent_data records
+    // the data qubit of a space edge (or -1 for a time edge). With the
+    // default unit weights this degenerates to breadth-first search.
+    std::vector<std::vector<int>> dist(k);
+    std::vector<std::vector<int>> parent_node(k);
+    std::vector<std::vector<int>> parent_data(k);
+    std::vector<int64_t> boundary_dist(k);
+    std::vector<int> boundary_node(k);
+    std::vector<int> boundary_via(k);
+
+    for (int i = 0; i < k; ++i) {
+        assert(events[i].round >= 0 && events[i].round < rounds);
+        assert(events[i].check >= 0 && events[i].check < num_checks_);
+        dist[i].assign(num_nodes, -1);
+        parent_node[i].assign(num_nodes, kNoNode);
+        parent_data[i].assign(num_nodes, -1);
+        boundary_dist[i] = -1;
+        boundary_node[i] = kNoNode;
+        boundary_via[i] = -1;
+
+        const int src = node_id(events[i].check, events[i].round);
+        using HeapEntry = std::pair<int, int>;  // (distance, node)
+        std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                            std::greater<HeapEntry>>
+            frontier;
+        dist[i][src] = 0;
+        frontier.push({0, src});
+        while (!frontier.empty()) {
+            const auto [cur_dist, cur] = frontier.top();
+            frontier.pop();
+            if (cur_dist != dist[i][cur]) {
+                continue;  // stale entry
+            }
+            const int check = cur % num_checks_;
+            const int round = cur / num_checks_;
+
+            // Boundary half-edges cost one space weight; the first
+            // settled boundary-adjacent node is optimal because the
+            // hop cost is uniform.
+            if (boundary_dist[i] < 0 &&
+                !code_.boundary_data(detector_, check).empty()) {
+                boundary_dist[i] = cur_dist + space_weight_;
+                boundary_node[i] = cur;
+                boundary_via[i] = code_.boundary_data(detector_, check)[0];
+            }
+
+            auto relax = [&](int node, int via_data, int weight) {
+                const int cand = cur_dist + weight;
+                if (dist[i][node] < 0 || cand < dist[i][node]) {
+                    dist[i][node] = cand;
+                    parent_node[i][node] = cur;
+                    parent_data[i][node] = via_data;
+                    frontier.push({cand, node});
+                }
+            };
+            for (const CliqueNeighbor &nb :
+                 code_.clique_neighbors(detector_, check)) {
+                relax(node_id(nb.check, round), nb.shared_data,
+                      space_weight_);
+            }
+            if (round + 1 < rounds) {
+                relax(node_id(check, round + 1), -1, time_weight_);
+            }
+            if (round > 0) {
+                relax(node_id(check, round - 1), -1, time_weight_);
+            }
+        }
+    }
+
+    // Build the 2k matching instance: defects 0..k-1, boundary twins
+    // k..2k-1, twin-twin edges free.
+    const int n = 2 * k;
+    std::vector<std::vector<int64_t>> w(n, std::vector<int64_t>(n, -1));
+    for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j) {
+            const int nj = node_id(events[j].check, events[j].round);
+            const int d = dist[i][nj];
+            if (d >= 0) {
+                w[i][j] = d;
+                w[j][i] = d;
+            }
+        }
+        if (boundary_dist[i] >= 0) {
+            w[i][k + i] = boundary_dist[i];
+            w[k + i][i] = boundary_dist[i];
+        }
+        for (int j = i + 1; j < k; ++j) {
+            w[k + i][k + j] = 0;
+            w[k + j][k + i] = 0;
+        }
+    }
+
+    const std::vector<int> mate = min_weight_perfect_matching(n, w);
+    assert(!mate.empty() && "defect graph always admits a perfect matching");
+
+    auto walk_back = [&](int i, int from_node) {
+        // XOR the space-edge data qubits on the path from `from_node`
+        // back to defect i's source node.
+        int cur = from_node;
+        while (parent_node[i][cur] != kNoNode) {
+            const int via = parent_data[i][cur];
+            if (via >= 0) {
+                result.correction[via] ^= 1;
+            }
+            cur = parent_node[i][cur];
+        }
+    };
+
+    for (int i = 0; i < k; ++i) {
+        const int m = mate[i];
+        if (m == k + i) {
+            // Matched to own boundary twin: path to the boundary.
+            result.weight += boundary_dist[i];
+            result.correction[boundary_via[i]] ^= 1;
+            walk_back(i, boundary_node[i]);
+        } else if (m > i && m < k) {
+            const int nj = node_id(events[m].check, events[m].round);
+            result.weight += dist[i][nj];
+            walk_back(i, nj);
+        }
+    }
+    return result;
+}
+
+MwpmDecoder::Result
+MwpmDecoder::decode_syndrome(const std::vector<uint8_t> &syndrome) const
+{
+    std::vector<DetectionEvent> events;
+    for (int c = 0; c < num_checks_; ++c) {
+        if (syndrome[c] & 1) {
+            events.push_back(DetectionEvent{c, 0});
+        }
+    }
+    return decode(events, 1);
+}
+
+} // namespace btwc

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/**
+ * A detection event: check `check` of the decoder's type reported a
+ * syndrome *change* in measurement round `round` (0-based).
+ */
+struct DetectionEvent
+{
+    int check;
+    int round;
+};
+
+/**
+ * Minimum Weight Perfect Matching decoder over the spacetime decoding
+ * graph (the paper's off-chip "complex" decoder [19]).
+ *
+ * Nodes are (check, round) pairs; space edges are data qubits shared
+ * by two same-type checks, time edges connect a check to itself in the
+ * next round (measurement errors), and boundary half-edges let chains
+ * terminate on the lattice boundary. All edges have unit weight, which
+ * is exact for the paper's phenomenological model with equal data and
+ * measurement error probabilities.
+ *
+ * Defect pairwise distances come from breadth-first search; the
+ * pairing is solved exactly with the blossom algorithm (each defect
+ * also gets a zero-cost-interconnected boundary twin, the standard
+ * construction for codes with boundaries).
+ */
+class MwpmDecoder
+{
+  public:
+    /** Result of one decode call. */
+    struct Result
+    {
+        std::vector<uint8_t> correction;  ///< per-data-qubit flip mask
+        int64_t weight = 0;               ///< total matched weight
+        int defects = 0;                  ///< number of detection events
+    };
+
+    /**
+     * @param code         the surface code
+     * @param detector     which check type's events this decoder consumes
+     * @param space_weight weight of space (data qubit) and boundary edges
+     * @param time_weight  weight of time (measurement) edges
+     *
+     * Unit weights are exact for the paper's p_data == p_meas model;
+     * for asymmetric noise pass log-likelihood weights (see
+     * `log_likelihood_weight`).
+     */
+    MwpmDecoder(const RotatedSurfaceCode &code, CheckType detector,
+                int space_weight = 1, int time_weight = 1);
+
+    /** The check type whose detection events are decoded. */
+    CheckType detector() const { return detector_; }
+
+    /**
+     * Decode a set of detection events observed over `rounds`
+     * measurement rounds (all event rounds must lie in [0, rounds)).
+     */
+    Result decode(const std::vector<DetectionEvent> &events,
+                  int rounds) const;
+
+    /**
+     * Convenience for perfect-measurement decoding: treat a single
+     * noiseless syndrome as one round of detection events.
+     */
+    Result decode_syndrome(const std::vector<uint8_t> &syndrome) const;
+
+  private:
+    int node_id(int check, int round) const { return round * num_checks_ + check; }
+
+    const RotatedSurfaceCode &code_;
+    CheckType detector_;
+    int num_checks_;
+    int space_weight_;
+    int time_weight_;
+};
+
+/**
+ * Integer log-likelihood edge weight for an error channel of
+ * probability p: round(scale * ln((1-p)/p)). Matching with these
+ * weights maximizes the likelihood of the recovered error pattern
+ * under independent channels (the standard weighted-MWPM recipe).
+ */
+int log_likelihood_weight(double p, double scale = 100.0);
+
+} // namespace btwc

@@ -1,0 +1,270 @@
+#include "matching/union_find.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace btwc {
+
+namespace {
+
+/** Disjoint-set forest with cluster metadata for the UF decoder. */
+class Clusters
+{
+  public:
+    explicit Clusters(int n)
+        : parent_(n), odd_(n, 0), boundary_(n, 0)
+    {
+        for (int i = 0; i < n; ++i) {
+            parent_[i] = i;
+        }
+    }
+
+    int find(int x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /** Merge; returns the surviving root. */
+    int unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b) {
+            return a;
+        }
+        parent_[b] = a;
+        odd_[a] ^= odd_[b];
+        boundary_[a] |= boundary_[b];
+        return a;
+    }
+
+    void mark_defect(int x) { odd_[find(x)] ^= 1; }
+    void mark_boundary(int x) { boundary_[find(x)] = 1; }
+
+    /** A cluster still grows while it has odd parity off-boundary. */
+    bool active(int x)
+    {
+        const int r = find(x);
+        return odd_[r] && !boundary_[r];
+    }
+
+  private:
+    std::vector<int> parent_;
+    std::vector<uint8_t> odd_;
+    std::vector<uint8_t> boundary_;
+};
+
+struct UfEdge
+{
+    int a;         ///< spacetime node
+    int b;         ///< spacetime node, or -1 for a boundary edge
+    int data;      ///< data qubit of a space edge, -1 for time edges
+    int growth;    ///< 0..2 half-edge growth
+};
+
+} // namespace
+
+UnionFindDecoder::UnionFindDecoder(const RotatedSurfaceCode &code,
+                                   CheckType detector)
+    : code_(code), detector_(detector),
+      num_checks_(code.num_checks(detector))
+{
+}
+
+MwpmDecoder::Result
+UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
+                         int rounds, int *growth_rounds_out) const
+{
+    MwpmDecoder::Result result;
+    result.correction.assign(code_.num_data(), 0);
+    result.defects = static_cast<int>(events.size());
+    if (growth_rounds_out) {
+        *growth_rounds_out = 0;
+    }
+    if (events.empty()) {
+        return result;
+    }
+
+    const int num_nodes = rounds * num_checks_;
+    const int boundary_id = num_nodes;  // virtual node shared by all edges
+    auto node_id = [&](int check, int round) {
+        return round * num_checks_ + check;
+    };
+
+    // Materialize the spacetime edge list once per call.
+    std::vector<UfEdge> edges;
+    std::vector<std::vector<int>> incident(num_nodes + 1);
+    auto add_edge = [&](int a, int b, int data) {
+        incident[a].push_back(static_cast<int>(edges.size()));
+        incident[b < 0 ? boundary_id : b]
+            .push_back(static_cast<int>(edges.size()));
+        edges.push_back(UfEdge{a, b, data, 0});
+    };
+    for (int t = 0; t < rounds; ++t) {
+        for (int c = 0; c < num_checks_; ++c) {
+            const int a = node_id(c, t);
+            for (const CliqueNeighbor &nb :
+                 code_.clique_neighbors(detector_, c)) {
+                if (nb.check > c) {
+                    add_edge(a, node_id(nb.check, t), nb.shared_data);
+                }
+            }
+            for (const int bdata : code_.boundary_data(detector_, c)) {
+                add_edge(a, -1, bdata);
+            }
+            if (t + 1 < rounds) {
+                add_edge(a, node_id(c, t + 1), -1);
+            }
+        }
+    }
+
+    Clusters clusters(num_nodes + 1);
+    clusters.mark_boundary(boundary_id);
+    std::vector<uint8_t> is_defect(num_nodes + 1, 0);
+    std::vector<int> active_roots;
+    for (const DetectionEvent &ev : events) {
+        const int v = node_id(ev.check, ev.round);
+        is_defect[v] ^= 1;
+        clusters.mark_defect(v);
+    }
+    std::vector<uint8_t> in_cluster(num_nodes + 1, 0);
+    for (const DetectionEvent &ev : events) {
+        in_cluster[node_id(ev.check, ev.round)] = 1;
+    }
+
+    // Growth: every active cluster advances all its incident edges by
+    // half an edge per round; fully grown edges merge their endpoints.
+    // Terminates because an active cluster always has an ungrown
+    // incident edge (a maximal cluster has absorbed the boundary and
+    // is therefore inactive).
+    int growth_rounds = 0;
+    for (;;) {
+        bool have_active = false;
+        for (int v = 0; v <= num_nodes; ++v) {
+            if (in_cluster[v] && clusters.active(v)) {
+                have_active = true;
+                break;
+            }
+        }
+        if (!have_active) {
+            break;
+        }
+        ++growth_rounds;
+        std::vector<int> grow_list;
+        for (size_t e = 0; e < edges.size(); ++e) {
+            if (edges[e].growth >= 2) {
+                continue;
+            }
+            const UfEdge &edge = edges[e];
+            const int b = edge.b < 0 ? boundary_id : edge.b;
+            const bool a_active = in_cluster[edge.a] &&
+                                  clusters.active(edge.a);
+            const bool b_active = in_cluster[b] && clusters.active(b);
+            if (a_active || b_active) {
+                grow_list.push_back(static_cast<int>(e));
+            }
+        }
+        for (const int e : grow_list) {
+            UfEdge &edge = edges[e];
+            edge.growth += (in_cluster[edge.a] && clusters.active(edge.a))
+                           ? 1 : 0;
+            const int b = edge.b < 0 ? boundary_id : edge.b;
+            edge.growth += (in_cluster[b] && clusters.active(b)) ? 1 : 0;
+            if (edge.growth >= 2) {
+                edge.growth = 2;
+                in_cluster[edge.a] = 1;
+                in_cluster[b] = 1;
+                clusters.unite(edge.a, b);
+            }
+        }
+    }
+
+    if (growth_rounds_out) {
+        *growth_rounds_out = growth_rounds;
+    }
+
+    // Peeling: spanning forest over fully grown edges, rooted at the
+    // boundary where reachable, then transfer defects leaf-to-root.
+    std::vector<int> parent_edge(num_nodes + 1, -1);
+    std::vector<int> parent_node(num_nodes + 1, -1);
+    std::vector<uint8_t> visited(num_nodes + 1, 0);
+    std::vector<int> order;
+    order.reserve(num_nodes + 1);
+
+    std::vector<std::vector<int>> grown_incident(num_nodes + 1);
+    for (size_t e = 0; e < edges.size(); ++e) {
+        if (edges[e].growth >= 2) {
+            const int b = edges[e].b < 0 ? boundary_id : edges[e].b;
+            grown_incident[edges[e].a].push_back(static_cast<int>(e));
+            grown_incident[b].push_back(static_cast<int>(e));
+        }
+    }
+
+    auto bfs_tree = [&](int root) {
+        std::queue<int> frontier;
+        visited[root] = 1;
+        frontier.push(root);
+        while (!frontier.empty()) {
+            const int v = frontier.front();
+            frontier.pop();
+            order.push_back(v);
+            for (const int e : grown_incident[v]) {
+                const int b = edges[e].b < 0 ? boundary_id : edges[e].b;
+                const int other = edges[e].a == v ? b : edges[e].a;
+                if (!visited[other]) {
+                    visited[other] = 1;
+                    parent_edge[other] = e;
+                    parent_node[other] = v;
+                    frontier.push(other);
+                }
+            }
+        }
+    };
+
+    bfs_tree(boundary_id);
+    for (int v = 0; v < num_nodes; ++v) {
+        if (!visited[v] && !grown_incident[v].empty()) {
+            bfs_tree(v);
+        }
+        if (!visited[v] && is_defect[v]) {
+            bfs_tree(v);  // isolated defect (shouldn't occur after growth)
+        }
+    }
+
+    for (size_t i = order.size(); i-- > 0;) {
+        const int v = order[i];
+        if (v == boundary_id || parent_edge[v] < 0) {
+            continue;
+        }
+        if (is_defect[v]) {
+            const UfEdge &e = edges[parent_edge[v]];
+            if (e.data >= 0) {
+                result.correction[e.data] ^= 1;
+                ++result.weight;
+            }
+            is_defect[v] = 0;
+            is_defect[parent_node[v]] ^= 1;
+        }
+    }
+    return result;
+}
+
+MwpmDecoder::Result
+UnionFindDecoder::decode_syndrome(const std::vector<uint8_t> &syndrome,
+                                  int *growth_rounds_out) const
+{
+    std::vector<DetectionEvent> events;
+    for (int c = 0; c < num_checks_; ++c) {
+        if (syndrome[c] & 1) {
+            events.push_back(DetectionEvent{c, 0});
+        }
+    }
+    return decode(events, 1, growth_rounds_out);
+}
+
+} // namespace btwc

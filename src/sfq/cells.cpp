@@ -1,0 +1,31 @@
+#include "sfq/cells.hpp"
+
+#include <cassert>
+
+namespace btwc {
+
+namespace {
+
+// Table 1: ERSFQ cell library used for decoder synthesis.
+//                       name     delay  area    JJs
+const CellSpec kCells[] = {
+    {"XOR2", 6.2, 7000.0, 18},
+    {"AND2", 8.2, 7000.0, 16},
+    {"OR2", 5.4, 7000.0, 14},
+    {"NOT", 12.8, 7000.0, 12},
+    {"DFF", 8.6, 5600.0, 10},
+    {"SPLIT", 7.0, 3500.0, 4},
+    {"IN", 0.0, 0.0, 0},
+};
+
+} // namespace
+
+const CellSpec &
+cell_spec(CellType type)
+{
+    const int idx = static_cast<int>(type);
+    assert(idx >= 0 && idx <= kNumCellTypes);
+    return kCells[idx];
+}
+
+} // namespace btwc

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace btwc {
+
+/** ERSFQ standard-cell kinds (Table 1 of the paper). */
+enum class CellType : uint8_t
+{
+    XOR2 = 0,
+    AND2 = 1,
+    OR2 = 2,
+    NOT = 3,
+    DFF = 4,
+    SPLIT = 5,
+    Input = 6,  ///< primary input pseudo-cell (zero cost)
+};
+
+/** Physical characteristics of one ERSFQ cell. */
+struct CellSpec
+{
+    const char *name;
+    double delay_ps;   ///< gate delay
+    double area_um2;   ///< layout area
+    int jj_count;      ///< Josephson junctions
+};
+
+/**
+ * The ERSFQ cell library used for decoder synthesis, transcribed from
+ * Table 1 of the paper.
+ */
+const CellSpec &cell_spec(CellType type);
+
+/** Number of real (costed) cell types. */
+constexpr int kNumCellTypes = 6;
+
+} // namespace btwc

@@ -1,0 +1,88 @@
+#include "sfq/clique_circuit.hpp"
+
+#include <string>
+#include <vector>
+
+namespace btwc {
+
+Netlist
+build_clique_netlist(const RotatedSurfaceCode &code, int filter_rounds)
+{
+    Netlist net;
+    std::vector<int> complex_flags;
+
+    for (const CheckType type : {CheckType::X, CheckType::Z}) {
+        const int num_checks = code.num_checks(type);
+        const std::string prefix =
+            type == CheckType::X ? "x" : "z";
+
+        // Filtered syndrome per check: raw input delayed through
+        // filter_rounds - 1 DFFs; each stored round contributes a
+        // flip-detect XOR2 + NOT, all AND-ed with the live bit.
+        std::vector<int> filtered(num_checks);
+        for (int c = 0; c < num_checks; ++c) {
+            const int raw = net.add_input(prefix + "_raw" +
+                                          std::to_string(c));
+            int live = raw;
+            int delayed = raw;
+            for (int r = 1; r < filter_rounds; ++r) {
+                delayed = net.add_gate(CellType::DFF, {delayed});
+                const int flip =
+                    net.add_gate(CellType::XOR2, {live, delayed});
+                const int same = net.add_gate(CellType::NOT, {flip});
+                live = net.add_gate(CellType::AND2, {live, same});
+            }
+            filtered[c] = live;
+        }
+
+        // Per-clique decision logic (Fig. 6) and correction wires.
+        for (int c = 0; c < num_checks; ++c) {
+            const auto &nbrs = code.clique_neighbors(type, c);
+            const auto &bdata = code.boundary_data(type, c);
+
+            std::vector<int> nbr_bits;
+            nbr_bits.reserve(nbrs.size());
+            for (const CliqueNeighbor &nb : nbrs) {
+                nbr_bits.push_back(filtered[nb.check]);
+            }
+            const int parity = net.add_tree(CellType::XOR2, nbr_bits);
+            const int even = net.add_gate(CellType::NOT, {parity});
+            int complex_bit =
+                net.add_gate(CellType::AND2, {filtered[c], even});
+            if (!bdata.empty()) {
+                // Boundary cliques stay trivial when no neighbor
+                // fired; COMPLEX needs an even, *nonzero* count.
+                const int any = net.add_tree(CellType::OR2, nbr_bits);
+                complex_bit =
+                    net.add_gate(CellType::AND2, {complex_bit, any});
+
+                // Boundary correction: fired with a silent clique.
+                const int none = net.add_gate(CellType::NOT, {any});
+                const int fix = net.add_gate(
+                    CellType::AND2, {filtered[c], none},
+                    prefix + "_bfix" + std::to_string(c));
+                net.mark_output(fix);
+            }
+            complex_flags.push_back(complex_bit);
+        }
+
+        // Shared-data correction wires: AND of the two checks that
+        // own each data qubit (emitted once per qubit per type).
+        for (int q = 0; q < code.num_data(); ++q) {
+            const auto [a, b] = code.edge_of_data(type, q);
+            if (b >= 0) {
+                const int fix = net.add_gate(
+                    CellType::AND2, {filtered[a], filtered[b]},
+                    prefix + "_fix" + std::to_string(q));
+                net.mark_output(fix);
+            }
+        }
+    }
+
+    const int complex_out = net.add_tree(CellType::OR2, complex_flags,
+                                         "COMPLEX");
+    net.mark_output(complex_out);
+    return net;
+}
+
+} // namespace btwc

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "sfq/netlist.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/**
+ * Gate-level generator for the Clique decoder hardware (Figs. 6-7).
+ *
+ * Emits, for every check of both types:
+ *
+ *  - the measurement filter: per extra round one DFF (round storage),
+ *    one XOR2 (flip detection), one NOT and one AND2 (persistence),
+ *    exactly the Fig. 7 structure;
+ *  - the clique decision: an XOR parity tree over the filtered clique
+ *    neighbors, a NOT, and the AND with the primary filtered bit
+ *    (Fig. 6); boundary cliques additionally AND with the OR of their
+ *    neighbors so that an isolated firing stays trivial (the 1+1/1+2
+ *    special cases);
+ *
+ * plus one AND2 correction wire per data qubit (the AND of its two
+ * same-type checks, Fig. 5 bottom), a boundary-correction AND for
+ * boundary cliques, and the global COMPLEX OR tree across both types.
+ *
+ * @param code          lattice to generate hardware for
+ * @param filter_rounds measurement rounds combined by the filter (>= 1)
+ */
+Netlist build_clique_netlist(const RotatedSurfaceCode &code,
+                             int filter_rounds = 2);
+
+} // namespace btwc

@@ -1,0 +1,12 @@
+#include "sfq/cost.hpp"
+
+namespace btwc {
+
+const NisqPlusReference &
+nisq_plus_reference()
+{
+    static const NisqPlusReference kReference{};
+    return kReference;
+}
+
+} // namespace btwc

@@ -1,0 +1,84 @@
+#include "sfq/netlist.hpp"
+
+#include <cassert>
+
+namespace btwc {
+
+int
+Netlist::add_input(std::string name)
+{
+    nodes_.push_back(Node{CellType::Input, {}, std::move(name)});
+    ++num_inputs_;
+    return size() - 1;
+}
+
+int
+Netlist::add_gate(CellType type, std::vector<int> fanins, std::string name)
+{
+    assert(type != CellType::Input);
+    const size_t expected =
+        (type == CellType::NOT || type == CellType::DFF ||
+         type == CellType::SPLIT)
+            ? 1
+            : 2;
+    assert(fanins.size() == expected);
+    (void)expected;
+    for (const int f : fanins) {
+        assert(f >= 0 && f < size() && "fanins must precede the gate");
+        (void)f;
+    }
+    nodes_.push_back(Node{type, std::move(fanins), std::move(name)});
+    return size() - 1;
+}
+
+int
+Netlist::add_tree(CellType type, const std::vector<int> &inputs,
+                  const std::string &name)
+{
+    assert(!inputs.empty());
+    std::vector<int> level = inputs;
+    while (level.size() > 1) {
+        std::vector<int> next;
+        for (size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(add_gate(type, {level[i], level[i + 1]}, name));
+        }
+        if (level.size() % 2 == 1) {
+            next.push_back(level.back());
+        }
+        level = std::move(next);
+    }
+    return level.front();
+}
+
+void
+Netlist::mark_output(int node)
+{
+    assert(node >= 0 && node < size());
+    outputs_.push_back(node);
+}
+
+std::vector<int>
+Netlist::gate_counts() const
+{
+    std::vector<int> counts(kNumCellTypes, 0);
+    for (const Node &node : nodes_) {
+        if (node.type != CellType::Input) {
+            ++counts[static_cast<int>(node.type)];
+        }
+    }
+    return counts;
+}
+
+std::vector<int>
+Netlist::fanouts() const
+{
+    std::vector<int> fo(nodes_.size(), 0);
+    for (const Node &node : nodes_) {
+        for (const int f : node.fanins) {
+            ++fo[f];
+        }
+    }
+    return fo;
+}
+
+} // namespace btwc

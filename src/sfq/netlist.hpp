@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfq/cells.hpp"
+
+namespace btwc {
+
+/**
+ * A simple combinational/sequential netlist over the ERSFQ library.
+ *
+ * Nodes are primary inputs or gates; edges are fanin references. DFF
+ * nodes represent explicit architectural state (the measurement
+ * filter's round storage); *path-balancing* DFFs required by SFQ's
+ * gate-level pipelining are not stored as nodes -- they are counted by
+ * the synthesizer (`sfq/synth.hpp`), which also accounts for splitter
+ * trees on every multi-fanout net (SFQ gates drive exactly one sink).
+ */
+class Netlist
+{
+  public:
+    /** One node: a primary input or a gate instance. */
+    struct Node
+    {
+        CellType type;
+        std::vector<int> fanins;
+        std::string name;
+    };
+
+    /** Add a primary input; returns its node id. */
+    int add_input(std::string name);
+
+    /** Add a gate; 2-input kinds take exactly 2 fanins, NOT/DFF 1. */
+    int add_gate(CellType type, std::vector<int> fanins,
+                 std::string name = {});
+
+    /**
+     * Reduction tree (XOR2/OR2/AND2) over `inputs`. Returns the root
+     * node id; a single input is returned unchanged. `inputs` must be
+     * non-empty.
+     */
+    int add_tree(CellType type, const std::vector<int> &inputs,
+                 const std::string &name = {});
+
+    /** Mark a node as a primary output. */
+    void mark_output(int node);
+
+    /** All nodes, topologically ordered by construction. */
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** Primary output node ids. */
+    const std::vector<int> &outputs() const { return outputs_; }
+
+    /** Number of nodes (inputs + gates). */
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /** Number of primary inputs. */
+    int num_inputs() const { return num_inputs_; }
+
+    /** Number of gates of each cell type (indexed by CellType). */
+    std::vector<int> gate_counts() const;
+
+    /** Fanout count of every node. */
+    std::vector<int> fanouts() const;
+
+  private:
+    std::vector<Node> nodes_;
+    std::vector<int> outputs_;
+    int num_inputs_ = 0;
+};
+
+} // namespace btwc

@@ -1,0 +1,97 @@
+#include "sfq/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace btwc {
+
+SynthesisResult
+synthesize(const Netlist &netlist)
+{
+    SynthesisResult result;
+    result.gate_counts = netlist.gate_counts();
+
+    const auto &nodes = netlist.nodes();
+    const std::vector<int> fanouts = netlist.fanouts();
+
+    // Splitter trees: a net with F sinks needs F - 1 splitters; the
+    // tree adds ceil(log2 F) splitter hops of delay on that net.
+    std::vector<int> split_depth(nodes.size(), 0);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        int sinks = fanouts[i];
+        const bool is_output =
+            std::find(netlist.outputs().begin(), netlist.outputs().end(),
+                      static_cast<int>(i)) != netlist.outputs().end();
+        if (is_output) {
+            ++sinks;  // the output pin is one more sink
+        }
+        if (sinks > 1) {
+            result.splitters += sinks - 1;
+            int depth = 0;
+            while ((1 << depth) < sinks) {
+                ++depth;
+            }
+            split_depth[i] = depth;
+        }
+    }
+
+    // Clocked-stage levels for path balancing: inputs sit at level 0,
+    // each gate one level past its deepest fanin. Every fanin edge
+    // spanning more than one level is padded with DFFs.
+    std::vector<int> level(nodes.size(), 0);
+    std::vector<double> arrival(nodes.size(), 0.0);
+    const double split_delay = cell_spec(CellType::SPLIT).delay_ps;
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        const Netlist::Node &node = nodes[i];
+        if (node.type == CellType::Input) {
+            level[i] = 0;
+            arrival[i] = 0.0;
+            continue;
+        }
+        int max_level = 0;
+        double max_arrival = 0.0;
+        for (const int f : node.fanins) {
+            max_level = std::max(max_level, level[f]);
+            max_arrival = std::max(
+                max_arrival, arrival[f] + split_depth[f] * split_delay);
+        }
+        level[i] = max_level + 1;
+        arrival[i] = max_arrival + cell_spec(node.type).delay_ps;
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        for (const int f : nodes[i].fanins) {
+            result.balancing_dffs += level[i] - 1 - level[f];
+        }
+    }
+
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].type == CellType::Input) {
+            continue;
+        }
+        const CellSpec &spec = cell_spec(nodes[i].type);
+        result.jj_count += spec.jj_count;
+        result.area_um2 += spec.area_um2;
+    }
+    const CellSpec &split = cell_spec(CellType::SPLIT);
+    const CellSpec &dff = cell_spec(CellType::DFF);
+    result.jj_count += result.splitters * split.jj_count +
+                       result.balancing_dffs * dff.jj_count;
+    result.area_um2 += result.splitters * split.area_um2 +
+                       result.balancing_dffs * dff.area_um2;
+
+    int total = result.splitters + result.balancing_dffs;
+    for (const int count : result.gate_counts) {
+        total += count;
+    }
+    result.total_cells = total;
+
+    for (const int out : netlist.outputs()) {
+        result.critical_path_ps =
+            std::max(result.critical_path_ps, arrival[out]);
+        result.logic_depth = std::max(result.logic_depth, level[out]);
+    }
+    return result;
+}
+
+} // namespace btwc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfq/netlist.hpp"
+
+namespace btwc {
+
+/**
+ * Aggregate result of SFQ technology mapping (§6.2 of the paper).
+ *
+ * The numbers already include the two structural obligations of SFQ
+ * logic that dominate real synthesis results:
+ *
+ *  1. *Splitter insertion*: SFQ pulses cannot fan out; every net
+ *     driving F > 1 sinks needs a tree of F - 1 SPLIT cells.
+ *  2. *Full path balancing*: clocked SFQ gates consume exactly one
+ *     pulse per clock, so every gate's fanins must traverse the same
+ *     number of clocked stages; shorter paths are padded with DFFs
+ *     (one per missing stage).
+ */
+struct SynthesisResult
+{
+    std::vector<int> gate_counts;  ///< logic cells by CellType
+    int splitters = 0;             ///< inserted SPLIT cells
+    int balancing_dffs = 0;        ///< inserted path-balancing DFFs
+    int total_cells = 0;           ///< everything, including insertions
+    int jj_count = 0;              ///< total Josephson junctions
+    double area_um2 = 0.0;         ///< total cell area
+    double critical_path_ps = 0.0; ///< longest register-free delay path
+    int logic_depth = 0;           ///< clocked stages on the deepest path
+
+    /** Area in mm^2. */
+    double area_mm2() const { return area_um2 / 1e6; }
+};
+
+/**
+ * Map a netlist to the ERSFQ library: count splitters, balance paths,
+ * and roll up JJ count, area, and the critical path.
+ */
+SynthesisResult synthesize(const Netlist &netlist);
+
+} // namespace btwc

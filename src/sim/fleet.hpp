@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/system.hpp"
+#include "surface/noise.hpp"
+
+namespace btwc {
+
+/**
+ * Configuration of a multi-logical-qubit machine simulation (§5).
+ *
+ * Under the paper's i.i.d. phenomenological noise, per-qubit per-cycle
+ * off-chip events are independent Bernoulli(q) draws, so the fleet's
+ * per-cycle demand is Binomial(num_qubits, q); `offchip_prob` is the q
+ * measured by the single-qubit lifetime simulation. An exact
+ * trace-driven mode (`fleet_demand_exact`) simulates every qubit's
+ * full pipeline and exists to validate the binomial shortcut.
+ */
+struct FleetConfig
+{
+    int num_qubits = 1000;
+    uint64_t cycles = 1000000;
+    double offchip_prob = 0.01;  ///< per-qubit per-cycle P(complex)
+    uint64_t seed = 1;
+};
+
+/** One cycle of a provisioned fleet trace (Fig. 9). */
+struct TraceCycle
+{
+    uint64_t fresh = 0;      ///< new off-chip decodes this cycle
+    uint64_t carryover = 0;  ///< decodes carried from previous cycles
+    uint64_t served = 0;     ///< decodes shipped off-chip this cycle
+    bool stall = false;      ///< this cycle was a stall cycle
+};
+
+/** Outcome of a provisioned fleet run (one Fig. 16 sweep point). */
+struct FleetRunResult
+{
+    uint64_t bandwidth = 0;      ///< provisioned decodes per cycle
+    uint64_t total_cycles = 0;
+    uint64_t work_cycles = 0;
+    uint64_t stall_cycles = 0;
+    uint64_t max_backlog = 0;
+    double exec_time_increase = 0.0;   ///< stalls / work cycles
+    double bandwidth_reduction = 0.0;  ///< num_qubits / bandwidth
+};
+
+/** Demand histogram from the binomial fleet model. */
+CountHistogram fleet_demand_histogram(const FleetConfig &config);
+
+/**
+ * Demand histogram from fully simulated per-qubit pipelines (slow;
+ * used for validating the binomial model at small scale).
+ */
+CountHistogram fleet_demand_exact(int distance, double p, int num_qubits,
+                                  uint64_t cycles, uint64_t seed);
+
+/** Run the fleet against a fixed provisioned bandwidth. */
+FleetRunResult run_fleet_with_bandwidth(const FleetConfig &config,
+                                        uint64_t bandwidth);
+
+/** Short per-cycle trace for the Fig. 9 illustration. */
+std::vector<TraceCycle> fleet_trace(const FleetConfig &config,
+                                    uint64_t bandwidth);
+
+} // namespace btwc

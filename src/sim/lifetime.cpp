@@ -1,0 +1,177 @@
+#include "sim/lifetime.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/clique.hpp"
+#include "surface/frame.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+namespace {
+
+/** Closed-loop lifetime run through the full BtwcSystem. */
+LifetimeStats
+run_pipeline(const LifetimeConfig &config)
+{
+    const RotatedSurfaceCode code(config.distance);
+    SystemConfig sys_config;
+    sys_config.filter_rounds = config.filter_rounds;
+    sys_config.offchip = config.offchip;
+    BtwcSystem system(code,
+                      NoiseParams{config.p, config.meas_probability()},
+                      sys_config, config.seed);
+
+    LifetimeStats stats;
+    stats.cycles = config.cycles;
+    for (uint64_t cycle = 0; cycle < config.cycles; ++cycle) {
+        const CycleReport report = system.step();
+        switch (report.verdict) {
+          case CliqueVerdict::AllZeros:
+            ++stats.all_zero_cycles;
+            break;
+          case CliqueVerdict::Trivial:
+            ++stats.trivial_cycles;
+            break;
+          case CliqueVerdict::Complex:
+            ++stats.complex_cycles;
+            break;
+        }
+        for (const CliqueVerdict verdict : report.type_verdict) {
+            switch (verdict) {
+              case CliqueVerdict::AllZeros:
+                ++stats.all_zero_halves;
+                break;
+              case CliqueVerdict::Trivial:
+                ++stats.trivial_halves;
+                break;
+              case CliqueVerdict::Complex:
+                ++stats.complex_halves;
+                break;
+            }
+        }
+        stats.clique_corrections +=
+            static_cast<uint64_t>(report.clique_corrections);
+        stats.raw_weight.add(static_cast<uint64_t>(report.raw_weight));
+    }
+    return stats;
+}
+
+/**
+ * Open-loop signature sampling, the paper's §6.1 methodology: each
+ * cycle draws fresh errors, measures them over `filter_rounds` noisy
+ * rounds, classifies the filtered signature, and resets.
+ */
+LifetimeStats
+run_signature(const LifetimeConfig &config)
+{
+    const RotatedSurfaceCode code(config.distance);
+    Rng rng(config.seed);
+    LifetimeStats stats;
+    stats.cycles = config.cycles;
+
+    struct Half
+    {
+        Half(const RotatedSurfaceCode &c, CheckType error_type)
+            : frame(c, error_type),
+              clique(c, detector_of_error(error_type))
+        {
+        }
+        ErrorFrame frame;
+        CliqueDecoder clique;
+        std::vector<uint8_t> round;
+        std::vector<uint8_t> filtered;
+    };
+    Half halves[2] = {Half(code, CheckType::X), Half(code, CheckType::Z)};
+
+    for (uint64_t cycle = 0; cycle < config.cycles; ++cycle) {
+        CliqueVerdict verdict = CliqueVerdict::AllZeros;
+        uint64_t raw_weight = 0;
+        for (Half &half : halves) {
+            half.frame.reset();
+            half.frame.inject(config.p, rng);
+            // `filter_rounds` noisy measurements of the same error
+            // state; the filtered signature is their AND (Fig. 7).
+            for (int r = 0; r < config.filter_rounds; ++r) {
+                half.frame.measure(config.meas_probability(), rng,
+                                   half.round);
+                if (r == 0) {
+                    half.filtered = half.round;
+                } else {
+                    for (size_t c = 0; c < half.filtered.size(); ++c) {
+                        half.filtered[c] &= half.round[c];
+                    }
+                }
+            }
+            for (const uint8_t bit : half.round) {
+                raw_weight += bit & 1;
+            }
+            const CliqueOutcome out = half.clique.decode(half.filtered);
+            switch (out.verdict) {
+              case CliqueVerdict::AllZeros:
+                ++stats.all_zero_halves;
+                break;
+              case CliqueVerdict::Trivial:
+                ++stats.trivial_halves;
+                break;
+              case CliqueVerdict::Complex:
+                ++stats.complex_halves;
+                break;
+            }
+            if (out.verdict == CliqueVerdict::Complex) {
+                verdict = CliqueVerdict::Complex;
+            } else if (out.verdict == CliqueVerdict::Trivial &&
+                       verdict == CliqueVerdict::AllZeros) {
+                verdict = CliqueVerdict::Trivial;
+            }
+            stats.clique_corrections += out.corrections.size();
+        }
+        switch (verdict) {
+          case CliqueVerdict::AllZeros:
+            ++stats.all_zero_cycles;
+            break;
+          case CliqueVerdict::Trivial:
+            ++stats.trivial_cycles;
+            break;
+          case CliqueVerdict::Complex:
+            ++stats.complex_cycles;
+            break;
+        }
+        stats.raw_weight.add(raw_weight);
+    }
+    return stats;
+}
+
+} // namespace
+
+LifetimeStats
+run_lifetime(const LifetimeConfig &config)
+{
+    return config.mode == LifetimeMode::Pipeline ? run_pipeline(config)
+                                                 : run_signature(config);
+}
+
+int
+required_distance(double p, double target_logical_rate)
+{
+    // LER(d) ~ A * (p / p_th)^((d+1)/2); see header. Returns the
+    // smallest odd d whose projected LER meets the target (with a
+    // 1.5x tolerance absorbing the prefactor uncertainty).
+    constexpr double kThreshold = 1e-2;
+    constexpr double kPrefactor = 0.1;
+    const double ratio = p / kThreshold;
+    if (ratio >= 1.0) {
+        return 81;  // beyond threshold: the code cannot converge
+    }
+    for (int d = 3; d <= 81; d += 2) {
+        const double k = (d + 1) / 2.0;
+        const double ler = kPrefactor * std::pow(ratio, k);
+        if (ler <= target_logical_rate * 1.5) {
+            return d;
+        }
+    }
+    return 81;
+}
+
+} // namespace btwc

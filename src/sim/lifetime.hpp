@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "core/system.hpp"
+#include "surface/noise.hpp"
+
+namespace btwc {
+
+/**
+ * How the lifetime simulator advances between cycles.
+ *
+ * `Signature` reproduces the paper's Monte-Carlo benchmarking exactly:
+ * every cycle draws a fresh batch of data errors, measures it over
+ * `filter_rounds` noisy rounds (the Fig. 7 filter sees transient
+ * measurement flips), classifies the filtered signature and resets --
+ * i.e. it samples the *distribution of per-cycle error signatures*
+ * that Figs. 4 and 11-13 report, with every decode assumed to complete
+ * within its cycle.
+ *
+ * `Pipeline` runs the closed-loop `BtwcSystem` instead: corrections
+ * trail errors by the filter latency, so signatures from adjacent
+ * cycles can interact. It is the end-to-end system model (used by the
+ * examples and integration tests); its off-chip fraction runs a little
+ * higher than Signature mode's at large p*d^2.
+ */
+enum class LifetimeMode : uint8_t { Signature = 0, Pipeline = 1 };
+
+/** Configuration of a lifetime (Monte-Carlo benchmarking) run (§6.1). */
+struct LifetimeConfig
+{
+    int distance = 5;
+    double p = 1e-3;              ///< data-error probability per cycle
+    double p_meas = -1.0;         ///< measurement-flip probability; <0 -> p
+    uint64_t cycles = 100000;     ///< simulated decode cycles
+    int filter_rounds = 2;
+    LifetimeMode mode = LifetimeMode::Signature;
+    OffchipPolicy offchip = OffchipPolicy::Oracle;  ///< Pipeline mode only
+    uint64_t seed = 1;
+
+    /** Effective measurement flip probability. */
+    double meas_probability() const { return p_meas < 0.0 ? p : p_meas; }
+};
+
+/** Aggregated statistics of a lifetime run. */
+struct LifetimeStats
+{
+    uint64_t cycles = 0;
+    uint64_t all_zero_cycles = 0;  ///< filtered signature all zeros
+    uint64_t trivial_cycles = 0;   ///< nonzero, fully handled on-chip
+    uint64_t complex_cycles = 0;   ///< at least one COMPLEX flag
+    uint64_t clique_corrections = 0;
+    CountHistogram raw_weight;     ///< per-cycle fired raw bits (AFS input)
+
+    /**
+     * Decode-granularity counters. Every cycle runs one decode per
+     * lattice half (the X- and Z-detecting Clique instances are
+     * independent hardware), so each cycle contributes two decodes.
+     * Figs. 4 and 11-13 are reported at this granularity; the
+     * per-qubit-cycle counters above drive the fleet model (§5.1
+     * counts off-chip *logical-qubit* decodes per cycle).
+     */
+    uint64_t all_zero_halves = 0;
+    uint64_t trivial_halves = 0;
+    uint64_t complex_halves = 0;
+
+    /** Fraction of decodes handled without going off-chip (Fig. 11). */
+    double coverage() const
+    {
+        return cycles == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(complex_cycles) /
+                               static_cast<double>(cycles);
+    }
+
+    /** Fraction of cycles whose syndrome must ship off-chip. */
+    double offchip_fraction() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(complex_cycles) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** Total decodes at half granularity (two per cycle). */
+    uint64_t total_halves() const
+    {
+        return all_zero_halves + trivial_halves + complex_halves;
+    }
+
+    /** Fraction of *decodes* handled on-chip (Fig. 11). */
+    double coverage_per_decode() const
+    {
+        const uint64_t total = total_halves();
+        return total == 0 ? 0.0
+                          : 1.0 - static_cast<double>(complex_halves) /
+                                      static_cast<double>(total);
+    }
+
+    /**
+     * Among on-chip decodes, the fraction that actually corrected
+     * something (not All-0s) -- Fig. 12.
+     */
+    double onchip_nonzero_fraction() const
+    {
+        const uint64_t onchip = all_zero_halves + trivial_halves;
+        return onchip == 0 ? 0.0
+                           : static_cast<double>(trivial_halves) /
+                                 static_cast<double>(onchip);
+    }
+
+    /**
+     * Average off-chip data reduction achieved by Clique: the raw
+     * half-syndrome stream divided by what actually ships (complex
+     * halves only) -- Fig. 13's Clique series.
+     */
+    double clique_data_reduction() const
+    {
+        if (complex_halves == 0) {
+            return static_cast<double>(total_halves());  // saturated
+        }
+        return static_cast<double>(total_halves()) /
+               static_cast<double>(complex_halves);
+    }
+};
+
+/** Run the single-logical-qubit lifetime simulation. */
+LifetimeStats run_lifetime(const LifetimeConfig &config);
+
+/**
+ * Code distance needed to reach `target_logical_rate` from physical
+ * rate p, using the standard surface-code scaling
+ * LER(d) ~ A * (p / p_th)^((d+1)/2) with p_th the phenomenological
+ * threshold (~2.9%) and A ~ 0.1. Returns an odd distance >= 3.
+ * This reproduces the paper's (p, target LER) -> d pairings in Fig. 4
+ * (e.g. 1e-3/1e-12 -> d = 21, 5e-4/1e-12 -> d = 15).
+ */
+int required_distance(double p, double target_logical_rate);
+
+} // namespace btwc

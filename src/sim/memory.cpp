@@ -1,0 +1,132 @@
+#include "sim/memory.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/clique.hpp"
+#include "core/filter.hpp"
+#include "matching/mwpm.hpp"
+#include "matching/union_find.hpp"
+#include "surface/frame.hpp"
+#include "surface/noise.hpp"
+
+namespace btwc {
+
+const char *
+decoder_arm_name(DecoderArm arm)
+{
+    switch (arm) {
+      case DecoderArm::MwpmOnly:
+        return "mwpm";
+      case DecoderArm::CliqueMwpm:
+        return "clique+mwpm";
+      case DecoderArm::UnionFindOnly:
+        return "union-find";
+    }
+    return "?";
+}
+
+std::pair<double, double>
+MemoryResult::ler_interval() const
+{
+    return wilson_interval(failures, trials);
+}
+
+namespace {
+
+/**
+ * One trial: returns true on logical failure. `offchip_rounds` is
+ * incremented for every round the Clique arm flags COMPLEX.
+ */
+bool
+run_trial(const RotatedSurfaceCode &code, const MemoryConfig &config,
+          DecoderArm arm, const MwpmDecoder &mwpm,
+          const UnionFindDecoder &uf, const CliqueDecoder &clique,
+          Rng &rng, uint64_t &offchip_rounds)
+{
+    const CheckType detector = detector_of_error(config.error_type);
+    const int rounds = config.rounds > 0 ? config.rounds
+                                         : config.distance;
+    const int num_checks = code.num_checks(detector);
+
+    ErrorFrame frame(code, config.error_type);
+    MeasurementFilter filter(num_checks, config.filter_rounds);
+
+    std::vector<std::vector<uint8_t>> raw(
+        static_cast<size_t>(rounds) + 1);
+    for (int t = 0; t < rounds; ++t) {
+        frame.inject(config.p, rng);
+        frame.measure(config.meas_probability(), rng, raw[t]);
+        if (arm == DecoderArm::CliqueMwpm) {
+            const std::vector<uint8_t> &filtered = filter.push(raw[t]);
+            const CliqueOutcome outcome = clique.decode(filtered);
+            if (outcome.verdict == CliqueVerdict::Trivial) {
+                frame.apply(outcome.corrections);
+            } else if (outcome.verdict == CliqueVerdict::Complex) {
+                ++offchip_rounds;
+            }
+        }
+    }
+    // Final perfect round closes every chain so the residual after
+    // correction is guaranteed syndrome-free.
+    frame.measure_perfect(raw[rounds]);
+
+    std::vector<DetectionEvent> events;
+    for (int t = 0; t <= rounds; ++t) {
+        for (int c = 0; c < num_checks; ++c) {
+            const uint8_t prev = t == 0 ? 0 : raw[t - 1][c];
+            if ((raw[t][c] ^ prev) & 1) {
+                events.push_back(DetectionEvent{c, t});
+            }
+        }
+    }
+
+    MwpmDecoder::Result fix;
+    if (arm == DecoderArm::UnionFindOnly) {
+        fix = uf.decode(events, rounds + 1);
+    } else {
+        fix = mwpm.decode(events, rounds + 1);
+    }
+    frame.apply_mask(fix.correction);
+
+    assert(frame.syndrome_clear() &&
+           "decoding must clear the perfect-round syndrome");
+    return frame.logical_flipped();
+}
+
+} // namespace
+
+MemoryResult
+run_memory_experiment(const MemoryConfig &config, DecoderArm arm)
+{
+    const RotatedSurfaceCode code(config.distance);
+    const CheckType detector = detector_of_error(config.error_type);
+    int space_weight = 1;
+    int time_weight = 1;
+    if (config.weighted_matching) {
+        space_weight = log_likelihood_weight(config.p);
+        time_weight = log_likelihood_weight(config.meas_probability());
+    }
+    const MwpmDecoder mwpm(code, detector, space_weight, time_weight);
+    const UnionFindDecoder uf(code, detector);
+    const CliqueDecoder clique(code, detector);
+    Rng rng(config.seed);
+
+    MemoryResult result;
+    const int rounds = config.rounds > 0 ? config.rounds
+                                         : config.distance;
+    while (result.trials < config.max_trials &&
+           result.failures < config.target_failures) {
+        ++result.trials;
+        result.total_rounds += static_cast<uint64_t>(rounds);
+        if (run_trial(code, config, arm, mwpm, uf, clique, rng,
+                      result.offchip_rounds)) {
+            ++result.failures;
+        }
+    }
+    return result;
+}
+
+} // namespace btwc

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/** Which decoder stack a memory experiment exercises (Fig. 14). */
+enum class DecoderArm : uint8_t
+{
+    MwpmOnly = 0,      ///< paper's off-chip baseline
+    CliqueMwpm = 1,    ///< Clique first, MWPM for complex rounds
+    UnionFindOnly = 2, ///< §8.1 hierarchy extension / cross-check
+};
+
+/** Display name of a decoder arm. */
+const char *decoder_arm_name(DecoderArm arm);
+
+/** Configuration of a logical-memory Monte-Carlo experiment. */
+struct MemoryConfig
+{
+    int distance = 5;
+    double p = 1e-3;              ///< data-error probability per round
+    double p_meas = -1.0;         ///< measurement-flip probability; <0 -> p
+    uint64_t max_trials = 100000; ///< hard trial cap
+    uint64_t target_failures = 100; ///< stop early once reached
+    int rounds = 0;               ///< noisy rounds; 0 means d
+    int filter_rounds = 2;
+    /**
+     * Use log-likelihood edge weights in the matching graph instead of
+     * unit weights. Matters only when p_meas != p (asymmetric noise);
+     * with the paper's symmetric model both are exact.
+     */
+    bool weighted_matching = false;
+    CheckType error_type = CheckType::X;  ///< which half is simulated
+    uint64_t seed = 1;
+
+    /** Effective measurement flip probability. */
+    double meas_probability() const { return p_meas < 0.0 ? p : p_meas; }
+};
+
+/** Result of a memory experiment. */
+struct MemoryResult
+{
+    uint64_t trials = 0;
+    uint64_t failures = 0;
+    uint64_t offchip_rounds = 0;  ///< rounds flagged COMPLEX (Clique arm)
+    uint64_t total_rounds = 0;
+
+    /** Logical error rate per `rounds`-round block. */
+    double ler() const
+    {
+        return trials == 0 ? 0.0
+                           : static_cast<double>(failures) /
+                                 static_cast<double>(trials);
+    }
+
+    /** 95% Wilson confidence interval on the LER. */
+    std::pair<double, double> ler_interval() const;
+};
+
+/**
+ * Run one memory experiment: per trial, `rounds` noisy syndrome
+ * extraction rounds followed by one perfect round, decode, and check
+ * whether the residual anticommutes with the dual logical operator.
+ *
+ * The baseline arm decodes all detection events in a single 3D MWPM
+ * pass. The Clique arm replays the paper's pipeline: per-round
+ * filtered syndromes go through Clique; trivial corrections are
+ * applied online (and their echo shows up as time-like event pairs
+ * that the final MWPM pass resolves as identity); rounds flagged
+ * COMPLEX leave their events to the final MWPM pass, which models the
+ * off-chip hand-over.
+ */
+MemoryResult run_memory_experiment(const MemoryConfig &config,
+                                   DecoderArm arm);
+
+} // namespace btwc

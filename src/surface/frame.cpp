@@ -1,0 +1,112 @@
+#include "surface/frame.hpp"
+
+namespace btwc {
+
+ErrorFrame::ErrorFrame(const RotatedSurfaceCode &code, CheckType error_type)
+    : code_(code), error_type_(error_type),
+      detector_(detector_of_error(error_type)),
+      err_(static_cast<size_t>(code.num_data()), 0)
+{
+}
+
+void
+ErrorFrame::reset()
+{
+    std::fill(err_.begin(), err_.end(), 0);
+}
+
+void
+ErrorFrame::flip(int data)
+{
+    err_[data] ^= 1;
+}
+
+void
+ErrorFrame::inject(double p, Rng &rng)
+{
+    if (p <= 0.0) {
+        return;
+    }
+    const uint64_t n = err_.size();
+    uint64_t i = rng.geometric(p);
+    while (i < n) {
+        err_[i] ^= 1;
+        const uint64_t gap = rng.geometric(p);
+        if (gap >= n - i) {
+            break;
+        }
+        i += gap + 1;
+    }
+}
+
+void
+ErrorFrame::apply(const std::vector<int> &corrections)
+{
+    for (const int data : corrections) {
+        err_[data] ^= 1;
+    }
+}
+
+void
+ErrorFrame::apply_mask(const std::vector<uint8_t> &mask)
+{
+    for (size_t i = 0; i < err_.size(); ++i) {
+        err_[i] ^= (mask[i] & 1);
+    }
+}
+
+void
+ErrorFrame::measure(double p_meas, Rng &rng, std::vector<uint8_t> &out) const
+{
+    code_.syndrome_of(detector_, err_, out);
+    if (p_meas <= 0.0) {
+        return;
+    }
+    const uint64_t n = out.size();
+    uint64_t i = rng.geometric(p_meas);
+    while (i < n) {
+        out[i] ^= 1;
+        const uint64_t gap = rng.geometric(p_meas);
+        if (gap >= n - i) {
+            break;
+        }
+        i += gap + 1;
+    }
+}
+
+void
+ErrorFrame::measure_perfect(std::vector<uint8_t> &out) const
+{
+    code_.syndrome_of(detector_, err_, out);
+}
+
+bool
+ErrorFrame::syndrome_clear() const
+{
+    std::vector<uint8_t> syn;
+    code_.syndrome_of(detector_, err_, syn);
+    for (const uint8_t s : syn) {
+        if (s) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+ErrorFrame::weight() const
+{
+    int w = 0;
+    for (const uint8_t e : err_) {
+        w += e & 1;
+    }
+    return w;
+}
+
+bool
+ErrorFrame::logical_flipped() const
+{
+    return code_.logical_flipped(error_type_, err_);
+}
+
+} // namespace btwc

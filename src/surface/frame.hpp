@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/**
+ * Error state and noisy syndrome extraction for one error type.
+ *
+ * Tracks which data qubits currently carry an error of the configured
+ * type (X or Z) and produces per-round syndrome measurements of the
+ * detecting check type, optionally with measurement flips. This is the
+ * "Pauli frame" of one half of the independently-decoded lattice.
+ */
+class ErrorFrame
+{
+  public:
+    /** Create an all-clear frame for errors of `error_type`. */
+    ErrorFrame(const RotatedSurfaceCode &code, CheckType error_type);
+
+    /** The tracked error type. */
+    CheckType error_type() const { return error_type_; }
+
+    /** The check type whose measurements detect the tracked errors. */
+    CheckType detector() const { return detector_; }
+
+    /** Clear all errors. */
+    void reset();
+
+    /** Toggle the error on one data qubit. */
+    void flip(int data);
+
+    /**
+     * Inject i.i.d. errors: each data qubit flips with probability p.
+     * Uses geometric gap skipping, so cost is O(d^2 p + 1).
+     */
+    void inject(double p, Rng &rng);
+
+    /** Apply a correction: toggle every listed data qubit. */
+    void apply(const std::vector<int> &corrections);
+
+    /** Apply a correction mask (one byte per data qubit). */
+    void apply_mask(const std::vector<uint8_t> &mask);
+
+    /**
+     * One noisy measurement round: `out[c]` is the parity of the
+     * current error over check c's support, flipped with probability
+     * p_meas. `out` is resized to the check count.
+     */
+    void measure(double p_meas, Rng &rng, std::vector<uint8_t> &out) const;
+
+    /** Noiseless measurement round. */
+    void measure_perfect(std::vector<uint8_t> &out) const;
+
+    /** True when the noiseless syndrome is all zero. */
+    bool syndrome_clear() const;
+
+    /** Number of data qubits currently in error. */
+    int weight() const;
+
+    /**
+     * True when the current error pattern anticommutes with the dual
+     * logical operator. Meaningful as a *failure* indicator only when
+     * the syndrome is clear.
+     */
+    bool logical_flipped() const;
+
+    /** Raw per-qubit error indicators. */
+    const std::vector<uint8_t> &error() const { return err_; }
+
+    /** The underlying code. */
+    const RotatedSurfaceCode &code() const { return code_; }
+
+  private:
+    const RotatedSurfaceCode &code_;
+    CheckType error_type_;
+    CheckType detector_;
+    std::vector<uint8_t> err_;
+};
+
+} // namespace btwc

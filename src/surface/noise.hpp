@@ -1,0 +1,23 @@
+#pragma once
+
+namespace btwc {
+
+/**
+ * Phenomenological noise model parameters (§6.1 of the paper).
+ *
+ * Every cycle each data qubit independently acquires an X error with
+ * probability `p_data` and a Z error with probability `p_data`, and
+ * every syndrome measurement outcome flips with probability `p_meas`.
+ * The paper uses a single parameter p for both; `uniform(p)` builds
+ * that configuration.
+ */
+struct NoiseParams
+{
+    double p_data = 1e-3;  ///< per-data-qubit, per-cycle flip probability
+    double p_meas = 1e-3;  ///< per-measurement flip probability
+
+    /** The paper's single-parameter model: p_data = p_meas = p. */
+    static NoiseParams uniform(double p) { return NoiseParams{p, p}; }
+};
+
+} // namespace btwc

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the AFS syndrome-compression baseline: size formulas,
+ * round-trip correctness of the sparse codec, and the qualitative
+ * behaviour Fig. 13 relies on (great on all-zeros, poor on dense
+ * syndromes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "afs/compression.hpp"
+#include "common/rng.hpp"
+
+namespace btwc {
+namespace {
+
+TEST(CeilLog2, Values)
+{
+    EXPECT_EQ(ceil_log2(1), 0);
+    EXPECT_EQ(ceil_log2(2), 1);
+    EXPECT_EQ(ceil_log2(3), 2);
+    EXPECT_EQ(ceil_log2(8), 3);
+    EXPECT_EQ(ceil_log2(9), 4);
+    EXPECT_EQ(ceil_log2(1024), 10);
+}
+
+TEST(Afs, AllZeroSyndromeIsOneBit)
+{
+    const AfsCompressor afs(48);
+    EXPECT_EQ(afs.sparse_rep_bits(0), 1);
+    EXPECT_EQ(afs.run_length_bits({}), 1);
+    const std::vector<uint8_t> zeros(48, 0);
+    EXPECT_EQ(afs.compress_sparse(zeros).size(), 1u);
+}
+
+TEST(Afs, SparseSizeGrowsLinearlyInOnes)
+{
+    const AfsCompressor afs(48);  // ceil(log2 48) = 6
+    EXPECT_EQ(afs.index_bits(), 6);
+    const int one = afs.sparse_rep_bits(1);
+    const int two = afs.sparse_rep_bits(2);
+    const int five = afs.sparse_rep_bits(5);
+    EXPECT_EQ(two - one, 6);
+    EXPECT_EQ(five - two, 18);
+}
+
+TEST(Afs, DynamicNeverWorseThanRawPlusSelector)
+{
+    const AfsCompressor afs(24);
+    Rng rng(3);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<int> ones;
+        for (int i = 0; i < 24; ++i) {
+            if (rng.bernoulli(0.3)) {
+                ones.push_back(i);
+            }
+        }
+        const int dyn = afs.dynamic_bits(ones);
+        EXPECT_LE(dyn, 24 + 2);
+        EXPECT_GE(dyn, 3);
+        EXPECT_LE(dyn,
+                  2 + afs.sparse_rep_bits(static_cast<int>(ones.size())));
+    }
+}
+
+TEST(Afs, DenseSyndromesCompressPoorly)
+{
+    // The paper's §7.2 argument: with many set bits the sparse
+    // representation exceeds the raw bitmap.
+    const AfsCompressor afs(80);
+    const int k_dense = 20;
+    EXPECT_GT(afs.sparse_rep_bits(k_dense), 80);
+}
+
+class AfsRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AfsRoundTrip, SparseCodecIsLossless)
+{
+    const int n = GetParam();
+    const AfsCompressor afs(n);
+    Rng rng(101 + n);
+    for (double density : {0.0, 0.02, 0.1, 0.5, 1.0}) {
+        for (int iter = 0; iter < 40; ++iter) {
+            std::vector<uint8_t> syndrome(n, 0);
+            for (auto &bit : syndrome) {
+                bit = rng.bernoulli(density) ? 1 : 0;
+            }
+            const auto stream = afs.compress_sparse(syndrome);
+            const auto back = afs.decompress_sparse(stream);
+            ASSERT_EQ(back, syndrome) << "n=" << n
+                                      << " density=" << density;
+            // Stream length must equal the size formula.
+            int k = 0;
+            for (const uint8_t bit : syndrome) {
+                k += bit;
+            }
+            ASSERT_EQ(static_cast<int>(stream.size()),
+                      afs.sparse_rep_bits(k));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AfsRoundTrip,
+                         ::testing::Values(4, 24, 48, 121, 440));
+
+TEST(Afs, CompressedBitsDispatch)
+{
+    const AfsCompressor afs(16);
+    const std::vector<int> ones = {3, 7};
+    EXPECT_EQ(afs.compressed_bits(AfsCompressor::Scheme::Raw, ones), 16);
+    EXPECT_EQ(afs.compressed_bits(AfsCompressor::Scheme::SparseRep, ones),
+              afs.sparse_rep_bits(2));
+    EXPECT_EQ(afs.compressed_bits(AfsCompressor::Scheme::RunLength, ones),
+              afs.run_length_bits(ones));
+    EXPECT_EQ(afs.compressed_bits(AfsCompressor::Scheme::Dynamic, ones),
+              afs.dynamic_bits(ones));
+}
+
+} // namespace
+} // namespace btwc

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG, statistics, tables, flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace btwc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += a.next_u64() == b.next_u64() ? 1 : 0;
+    }
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, DoublesInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.next_double();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowIsUniform)
+{
+    Rng rng(11);
+    const uint64_t bound = 10;
+    std::vector<int> counts(bound, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const uint64_t v = rng.next_below(bound);
+        ASSERT_LT(v, bound);
+        ++counts[v];
+    }
+    for (const int c : counts) {
+        EXPECT_NEAR(c, n / static_cast<double>(bound), 500);
+    }
+}
+
+TEST(Rng, NextBelowDegenerateBounds)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.next_below(0), 0u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(13);
+    const double p = 0.137;
+    const int n = 200000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.bernoulli(p) ? 1 : 0;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(n), p, 0.005);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(17);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, GeometricMeanMatchesTheory)
+{
+    Rng rng(19);
+    const double p = 0.2;
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        sum += static_cast<double>(rng.geometric(p));
+    }
+    // Mean of failures-before-success is (1-p)/p = 4.
+    EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.1);
+}
+
+class RngBinomial : public ::testing::TestWithParam<std::pair<int, double>>
+{
+};
+
+TEST_P(RngBinomial, MeanAndVarianceMatchTheory)
+{
+    const auto [n_trials, p] = GetParam();
+    Rng rng(23);
+    RunningStats stats;
+    const int samples = 30000;
+    for (int i = 0; i < samples; ++i) {
+        const uint64_t v = rng.binomial(n_trials, p);
+        ASSERT_LE(v, static_cast<uint64_t>(n_trials));
+        stats.add(static_cast<double>(v));
+    }
+    const double mean = n_trials * p;
+    const double var = n_trials * p * (1.0 - p);
+    EXPECT_NEAR(stats.mean(), mean, 5.0 * std::sqrt(var / samples) + 1e-9);
+    EXPECT_NEAR(stats.variance(), var, 0.1 * var + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RngBinomial,
+    ::testing::Values(std::make_pair(1000, 0.001),
+                      std::make_pair(1000, 0.01),
+                      std::make_pair(1000, 0.05),
+                      std::make_pair(1000, 0.3),
+                      std::make_pair(1000, 0.7),
+                      std::make_pair(100, 0.5),
+                      std::make_pair(10, 0.09)));
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+    EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+    EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(RunningStats, MeanAndVariance)
+{
+    RunningStats stats;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stats.add(v);
+    }
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stats.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(CountHistogram, PercentilesExact)
+{
+    CountHistogram hist;
+    for (uint64_t v = 1; v <= 100; ++v) {
+        hist.add(v);
+    }
+    EXPECT_EQ(hist.total(), 100u);
+    EXPECT_EQ(hist.percentile(0.5), 50u);
+    EXPECT_EQ(hist.percentile(0.99), 99u);
+    EXPECT_EQ(hist.percentile(1.0), 100u);
+    EXPECT_EQ(hist.percentile(0.0), 1u);
+    EXPECT_EQ(hist.max_value(), 100u);
+    EXPECT_DOUBLE_EQ(hist.mean(), 50.5);
+}
+
+TEST(CountHistogram, WeightsAndCdf)
+{
+    CountHistogram hist;
+    hist.add(0, 90);
+    hist.add(5, 10);
+    EXPECT_EQ(hist.percentile(0.5), 0u);
+    EXPECT_EQ(hist.percentile(0.95), 5u);
+    EXPECT_DOUBLE_EQ(hist.cdf(0), 0.9);
+    EXPECT_DOUBLE_EQ(hist.cdf(4), 0.9);
+    EXPECT_DOUBLE_EQ(hist.cdf(5), 1.0);
+}
+
+TEST(CountHistogram, EmptyHistogram)
+{
+    CountHistogram hist;
+    EXPECT_EQ(hist.percentile(0.5), 0u);
+    EXPECT_EQ(hist.max_value(), 0u);
+    EXPECT_EQ(hist.mean(), 0.0);
+}
+
+TEST(WilsonInterval, BracketsTheProportion)
+{
+    const auto [lo, hi] = wilson_interval(50, 100);
+    EXPECT_LT(lo, 0.5);
+    EXPECT_GT(hi, 0.5);
+    EXPECT_GT(lo, 0.35);
+    EXPECT_LT(hi, 0.65);
+}
+
+TEST(WilsonInterval, ZeroTrials)
+{
+    const auto [lo, hi] = wilson_interval(0, 0);
+    EXPECT_EQ(lo, 0.0);
+    EXPECT_EQ(hi, 1.0);
+}
+
+TEST(WilsonInterval, ZeroSuccessesStillPositiveUpper)
+{
+    const auto [lo, hi] = wilson_interval(0, 1000);
+    EXPECT_EQ(lo, 0.0);
+    EXPECT_GT(hi, 0.0);
+    EXPECT_LT(hi, 0.01);
+}
+
+TEST(PercentileOf, NearestRank)
+{
+    std::vector<double> values{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile_of(values, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(percentile_of(values, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile_of(values, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile_of({}, 0.5), 0.0);
+}
+
+TEST(Table, AlignsAndSeparates)
+{
+    Table table({"a", "bbb"});
+    table.add_row({"1", "2"});
+    table.add_row({"333", "4"});
+    const std::string out = table.to_string();
+    EXPECT_NE(out.find("a    bbb"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table table({"x", "y"});
+    table.add_row({"1", "2"});
+    EXPECT_EQ(table.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::sci(0.000123, 1), "1.2e-04");
+}
+
+TEST(Flags, ParsesAllForms)
+{
+    const char *argv[] = {"prog", "pos", "--alpha=3", "--beta", "4.5",
+                          "--list=1,2,3", "--gamma"};
+    Flags flags(7, argv);
+    EXPECT_EQ(flags.get_int("alpha", 0), 3);
+    EXPECT_DOUBLE_EQ(flags.get_double("beta", 0.0), 4.5);
+    EXPECT_TRUE(flags.get_bool("gamma"));
+    EXPECT_FALSE(flags.get_bool("missing"));
+    EXPECT_EQ(flags.positional().size(), 1u);
+    EXPECT_EQ(flags.positional()[0], "pos");
+    const auto list = flags.get_int_list("list", {});
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[2], 3);
+}
+
+TEST(Flags, DefaultsWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    Flags flags(1, argv);
+    EXPECT_EQ(flags.get_int("n", 17), 17);
+    EXPECT_EQ(flags.get("s", "dflt"), "dflt");
+    const auto dl = flags.get_double_list("d", {1.0, 2.0});
+    ASSERT_EQ(dl.size(), 2u);
+}
+
+} // namespace
+} // namespace btwc

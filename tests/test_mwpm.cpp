@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the spacetime MWPM decoder: distance guarantees (every
+ * error of weight <= (d-1)/2 is corrected), measurement-error
+ * handling, syndrome-consistency under random noise, and optimality of
+ * the matching weight against an independent BFS + subset-DP oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "matching/exact.hpp"
+#include "matching/mwpm.hpp"
+#include "surface/frame.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+namespace {
+
+/** Apply a correction mask and check syndrome + logical outcome. */
+void
+expect_corrects(const RotatedSurfaceCode &code, ErrorFrame &frame,
+                const MwpmDecoder::Result &fix, bool expect_no_logical)
+{
+    frame.apply_mask(fix.correction);
+    EXPECT_TRUE(frame.syndrome_clear());
+    if (expect_no_logical) {
+        EXPECT_FALSE(frame.logical_flipped());
+    }
+}
+
+TEST(Mwpm, EmptySyndromeNoCorrection)
+{
+    const RotatedSurfaceCode code(5);
+    const MwpmDecoder decoder(code, CheckType::Z);
+    std::vector<uint8_t> syndrome(code.num_checks(CheckType::Z), 0);
+    const auto fix = decoder.decode_syndrome(syndrome);
+    EXPECT_EQ(fix.weight, 0);
+    EXPECT_EQ(fix.defects, 0);
+    for (const uint8_t c : fix.correction) {
+        EXPECT_EQ(c, 0);
+    }
+}
+
+class MwpmDistance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MwpmDistance, CorrectsAllSingleErrors)
+{
+    const int d = GetParam();
+    const RotatedSurfaceCode code(d);
+    const MwpmDecoder decoder(code, CheckType::Z);
+    for (int q = 0; q < code.num_data(); ++q) {
+        ErrorFrame frame(code, CheckType::X);
+        frame.flip(q);
+        std::vector<uint8_t> syndrome;
+        frame.measure_perfect(syndrome);
+        const auto fix = decoder.decode_syndrome(syndrome);
+        expect_corrects(code, frame, fix, true);
+    }
+}
+
+TEST_P(MwpmDistance, CorrectsAllErrorPairs)
+{
+    const int d = GetParam();
+    if (d < 5) {
+        GTEST_SKIP() << "d=3 only guarantees single-error correction";
+    }
+    const RotatedSurfaceCode code(d);
+    const MwpmDecoder decoder(code, CheckType::Z);
+    for (int q1 = 0; q1 < code.num_data(); ++q1) {
+        for (int q2 = q1 + 1; q2 < code.num_data(); ++q2) {
+            ErrorFrame frame(code, CheckType::X);
+            frame.flip(q1);
+            frame.flip(q2);
+            std::vector<uint8_t> syndrome;
+            frame.measure_perfect(syndrome);
+            const auto fix = decoder.decode_syndrome(syndrome);
+            frame.apply_mask(fix.correction);
+            ASSERT_TRUE(frame.syndrome_clear())
+                << "q1=" << q1 << " q2=" << q2;
+            ASSERT_FALSE(frame.logical_flipped())
+                << "q1=" << q1 << " q2=" << q2;
+        }
+    }
+}
+
+TEST_P(MwpmDistance, CorrectsRandomHalfDistanceErrors)
+{
+    const int d = GetParam();
+    const RotatedSurfaceCode code(d);
+    const MwpmDecoder decoder(code, CheckType::Z);
+    const int budget = (d - 1) / 2;
+    Rng rng(91 + d);
+    for (int iter = 0; iter < 400; ++iter) {
+        ErrorFrame frame(code, CheckType::X);
+        // Up to (d-1)/2 distinct random flips.
+        const int k = 1 + static_cast<int>(rng.next_below(budget));
+        for (int i = 0; i < k; ++i) {
+            frame.flip(static_cast<int>(rng.next_below(code.num_data())));
+        }
+        std::vector<uint8_t> syndrome;
+        frame.measure_perfect(syndrome);
+        const auto fix = decoder.decode_syndrome(syndrome);
+        frame.apply_mask(fix.correction);
+        ASSERT_TRUE(frame.syndrome_clear());
+        // Repeated flips can cancel, so the realized weight may be
+        // lower; any weight <= (d-1)/2 must decode without a logical.
+        ASSERT_FALSE(frame.logical_flipped()) << "iter=" << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, MwpmDistance,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(Mwpm, TimeLikePairYieldsNoDataCorrection)
+{
+    // A transient measurement error appears as two detection events on
+    // the same check in consecutive rounds; MWPM must match them
+    // through the time edge and touch no data qubit.
+    const RotatedSurfaceCode code(5);
+    const MwpmDecoder decoder(code, CheckType::Z);
+    for (int c = 0; c < code.num_checks(CheckType::Z); ++c) {
+        const std::vector<DetectionEvent> events = {{c, 1}, {c, 2}};
+        const auto fix = decoder.decode(events, 4);
+        EXPECT_EQ(fix.weight, 1);
+        for (const uint8_t bit : fix.correction) {
+            EXPECT_EQ(bit, 0);
+        }
+    }
+}
+
+TEST(Mwpm, BothErrorTypesDecode)
+{
+    const RotatedSurfaceCode code(5);
+    for (const CheckType err : {CheckType::X, CheckType::Z}) {
+        const MwpmDecoder decoder(code, detector_of_error(err));
+        ErrorFrame frame(code, err);
+        frame.flip(12);
+        std::vector<uint8_t> syndrome;
+        frame.measure_perfect(syndrome);
+        const auto fix = decoder.decode_syndrome(syndrome);
+        expect_corrects(code, frame, fix, true);
+    }
+}
+
+class MwpmFuzz : public ::testing::TestWithParam<std::pair<int, double>>
+{
+};
+
+TEST_P(MwpmFuzz, RandomSpacetimeNoiseAlwaysConsistent)
+{
+    // Random data + measurement noise over T rounds plus a perfect
+    // round: decoding must always produce a correction that clears the
+    // final syndrome (logical failures are allowed; inconsistency is
+    // not).
+    const auto [d, p] = GetParam();
+    const RotatedSurfaceCode code(d);
+    const MwpmDecoder decoder(code, CheckType::Z);
+    const int rounds = d;
+    Rng rng(7 + d);
+    for (int iter = 0; iter < 150; ++iter) {
+        ErrorFrame frame(code, CheckType::X);
+        std::vector<std::vector<uint8_t>> raw(rounds + 1);
+        for (int t = 0; t < rounds; ++t) {
+            frame.inject(p, rng);
+            frame.measure(p, rng, raw[t]);
+        }
+        frame.measure_perfect(raw[rounds]);
+        std::vector<DetectionEvent> events;
+        for (int t = 0; t <= rounds; ++t) {
+            for (int c = 0; c < code.num_checks(CheckType::Z); ++c) {
+                const uint8_t prev = t == 0 ? 0 : raw[t - 1][c];
+                if ((raw[t][c] ^ prev) & 1) {
+                    events.push_back(DetectionEvent{c, t});
+                }
+            }
+        }
+        const auto fix = decoder.decode(events, rounds + 1);
+        frame.apply_mask(fix.correction);
+        ASSERT_TRUE(frame.syndrome_clear())
+            << "d=" << d << " p=" << p << " iter=" << iter;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MwpmFuzz,
+    ::testing::Values(std::make_pair(3, 0.02), std::make_pair(5, 0.01),
+                      std::make_pair(5, 0.05), std::make_pair(7, 0.02),
+                      std::make_pair(9, 0.01)));
+
+TEST(Mwpm, LogLikelihoodWeights)
+{
+    // Rarer channels get heavier edges; the scale anchors p = 1e-2 to
+    // ~460 and weights never drop below 1.
+    EXPECT_GT(log_likelihood_weight(1e-3), log_likelihood_weight(1e-2));
+    EXPECT_GT(log_likelihood_weight(1e-2), log_likelihood_weight(1e-1));
+    EXPECT_GE(log_likelihood_weight(0.5), 1);
+    EXPECT_EQ(log_likelihood_weight(1e-2),
+              static_cast<int>(std::lround(100.0 * std::log(99.0))));
+}
+
+TEST(Mwpm, EdgeWeightsSteerTheMatching)
+{
+    // Two defects on the same boundary-adjacent check, two rounds
+    // apart: the decoder must pick the time-like pairing when time
+    // edges are cheap and the two-boundary pairing when space edges
+    // are cheap.
+    const RotatedSurfaceCode code(5);
+    const CheckType det = CheckType::Z;
+    int boundary_check = -1;
+    for (int c = 0; c < code.num_checks(det); ++c) {
+        if (!code.boundary_data(det, c).empty()) {
+            boundary_check = c;
+            break;
+        }
+    }
+    ASSERT_GE(boundary_check, 0);
+    const std::vector<DetectionEvent> events = {{boundary_check, 0},
+                                                {boundary_check, 2}};
+
+    // Both routes resolve this appear-then-disappear pattern with a
+    // net-zero data correction (physically right: the error is gone by
+    // the end of the window), so the chosen route shows up in the
+    // matched weight: 2 time edges under cheap time, 2 boundary
+    // half-edges under cheap space -- never the 10-cost alternative.
+    const MwpmDecoder cheap_time(code, det, /*space=*/5, /*time=*/1);
+    const auto time_fix = cheap_time.decode(events, 4);
+    EXPECT_EQ(time_fix.weight, 2);
+    for (const uint8_t bit : time_fix.correction) {
+        EXPECT_EQ(bit, 0);
+    }
+
+    const MwpmDecoder cheap_space(code, det, /*space=*/1, /*time=*/5);
+    const auto space_fix = cheap_space.decode(events, 4);
+    EXPECT_EQ(space_fix.weight, 2);
+    for (const uint8_t bit : space_fix.correction) {
+        EXPECT_EQ(bit, 0);
+    }
+}
+
+TEST(Mwpm, WeightedDecoderStillCorrectsHalfDistanceErrors)
+{
+    const RotatedSurfaceCode code(7);
+    const MwpmDecoder decoder(code, CheckType::Z,
+                              log_likelihood_weight(1e-3),
+                              log_likelihood_weight(5e-3));
+    Rng rng(314);
+    for (int iter = 0; iter < 300; ++iter) {
+        ErrorFrame frame(code, CheckType::X);
+        const int k = 1 + static_cast<int>(rng.next_below(3));
+        for (int i = 0; i < k; ++i) {
+            frame.flip(static_cast<int>(rng.next_below(code.num_data())));
+        }
+        std::vector<uint8_t> syndrome;
+        frame.measure_perfect(syndrome);
+        frame.apply_mask(decoder.decode_syndrome(syndrome).correction);
+        ASSERT_TRUE(frame.syndrome_clear());
+        ASSERT_FALSE(frame.logical_flipped()) << "iter=" << iter;
+    }
+}
+
+/**
+ * Independent BFS over the spacetime graph (test-local implementation,
+ * deliberately separate from the decoder's own search).
+ */
+std::vector<int>
+bfs_distances(const RotatedSurfaceCode &code, CheckType det, int rounds,
+              int src_check, int src_round, int64_t &boundary_dist)
+{
+    const int num_checks = code.num_checks(det);
+    const int num_nodes = rounds * num_checks;
+    std::vector<int> dist(num_nodes, -1);
+    std::queue<int> frontier;
+    dist[src_round * num_checks + src_check] = 0;
+    frontier.push(src_round * num_checks + src_check);
+    boundary_dist = -1;
+    while (!frontier.empty()) {
+        const int cur = frontier.front();
+        frontier.pop();
+        const int check = cur % num_checks;
+        const int round = cur / num_checks;
+        if (boundary_dist < 0 &&
+            !code.boundary_data(det, check).empty()) {
+            boundary_dist = dist[cur] + 1;
+        }
+        auto relax = [&](int node) {
+            if (dist[node] < 0) {
+                dist[node] = dist[cur] + 1;
+                frontier.push(node);
+            }
+        };
+        for (const CliqueNeighbor &nb : code.clique_neighbors(det, check)) {
+            relax(round * num_checks + nb.check);
+        }
+        if (round + 1 < rounds) {
+            relax((round + 1) * num_checks + check);
+        }
+        if (round > 0) {
+            relax((round - 1) * num_checks + check);
+        }
+    }
+    return dist;
+}
+
+TEST(Mwpm, MatchingWeightIsOptimal)
+{
+    // The decoder's reported weight must equal the exact subset-DP
+    // optimum computed from independently derived distances.
+    const RotatedSurfaceCode code(5);
+    const CheckType det = CheckType::Z;
+    const MwpmDecoder decoder(code, det);
+    const int rounds = 4;
+    const int num_checks = code.num_checks(det);
+    Rng rng(555);
+    for (int iter = 0; iter < 120; ++iter) {
+        const int k = 2 + static_cast<int>(rng.next_below(9));
+        std::vector<DetectionEvent> events;
+        std::set<std::pair<int, int>> used;
+        for (int i = 0; i < k; ++i) {
+            const int c = static_cast<int>(rng.next_below(num_checks));
+            const int t = static_cast<int>(rng.next_below(rounds));
+            if (used.insert({c, t}).second) {
+                events.push_back(DetectionEvent{c, t});
+            }
+        }
+        const int n = static_cast<int>(events.size());
+        std::vector<std::vector<int64_t>> w(n,
+                                            std::vector<int64_t>(n, -1));
+        std::vector<int64_t> boundary(n);
+        for (int i = 0; i < n; ++i) {
+            int64_t bdist = -1;
+            const auto dist = bfs_distances(code, det, rounds,
+                                            events[i].check,
+                                            events[i].round, bdist);
+            boundary[i] = bdist;
+            for (int j = 0; j < n; ++j) {
+                if (j != i) {
+                    w[i][j] =
+                        dist[events[j].round * num_checks +
+                             events[j].check];
+                }
+            }
+        }
+        const auto fix = decoder.decode(events, rounds);
+        const int64_t want =
+            exact_min_weight_with_boundary(n, w, boundary);
+        ASSERT_EQ(fix.weight, want) << "iter=" << iter;
+    }
+}
+
+} // namespace
+} // namespace btwc

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the SFQ hardware stack: cell library values (Table 1),
+ * netlist construction, splitter/path-balancing accounting, cost
+ * model sanity, and gate-level equivalence of the generated Clique
+ * circuit against the behavioural decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/clique.hpp"
+#include "sfq/cells.hpp"
+#include "sfq/clique_circuit.hpp"
+#include "sfq/cost.hpp"
+#include "sfq/netlist.hpp"
+#include "sfq/synth.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+namespace {
+
+TEST(Cells, Table1Values)
+{
+    EXPECT_DOUBLE_EQ(cell_spec(CellType::XOR2).delay_ps, 6.2);
+    EXPECT_EQ(cell_spec(CellType::XOR2).jj_count, 18);
+    EXPECT_DOUBLE_EQ(cell_spec(CellType::AND2).delay_ps, 8.2);
+    EXPECT_EQ(cell_spec(CellType::AND2).jj_count, 16);
+    EXPECT_DOUBLE_EQ(cell_spec(CellType::OR2).delay_ps, 5.4);
+    EXPECT_EQ(cell_spec(CellType::OR2).jj_count, 14);
+    EXPECT_DOUBLE_EQ(cell_spec(CellType::NOT).delay_ps, 12.8);
+    EXPECT_EQ(cell_spec(CellType::NOT).jj_count, 12);
+    EXPECT_DOUBLE_EQ(cell_spec(CellType::DFF).area_um2, 5600.0);
+    EXPECT_EQ(cell_spec(CellType::DFF).jj_count, 10);
+    EXPECT_DOUBLE_EQ(cell_spec(CellType::SPLIT).area_um2, 3500.0);
+    EXPECT_EQ(cell_spec(CellType::SPLIT).jj_count, 4);
+}
+
+TEST(Netlist, TreeReduction)
+{
+    Netlist net;
+    std::vector<int> inputs;
+    for (int i = 0; i < 5; ++i) {
+        inputs.push_back(net.add_input("i" + std::to_string(i)));
+    }
+    net.add_tree(CellType::XOR2, inputs);
+    const auto counts = net.gate_counts();
+    EXPECT_EQ(counts[static_cast<int>(CellType::XOR2)], 4);
+    // Single input: returned unchanged, no gate added.
+    Netlist net1;
+    const int a = net1.add_input("a");
+    EXPECT_EQ(net1.add_tree(CellType::OR2, {a}), a);
+    EXPECT_EQ(net1.gate_counts()[static_cast<int>(CellType::OR2)], 0);
+}
+
+TEST(Synth, SingleGateNoOverhead)
+{
+    Netlist net;
+    const int a = net.add_input("a");
+    const int b = net.add_input("b");
+    const int g = net.add_gate(CellType::AND2, {a, b});
+    net.mark_output(g);
+    const auto result = synthesize(net);
+    EXPECT_EQ(result.splitters, 0);
+    EXPECT_EQ(result.balancing_dffs, 0);
+    EXPECT_EQ(result.jj_count, cell_spec(CellType::AND2).jj_count);
+    EXPECT_DOUBLE_EQ(result.area_um2, cell_spec(CellType::AND2).area_um2);
+    EXPECT_EQ(result.logic_depth, 1);
+    EXPECT_DOUBLE_EQ(result.critical_path_ps,
+                     cell_spec(CellType::AND2).delay_ps);
+}
+
+TEST(Synth, FanoutNeedsSplitters)
+{
+    // `a` feeds two gates: one splitter required.
+    Netlist net;
+    const int a = net.add_input("a");
+    const int b = net.add_input("b");
+    const int c = net.add_input("c");
+    net.mark_output(net.add_gate(CellType::XOR2, {a, b}));
+    net.mark_output(net.add_gate(CellType::AND2, {a, c}));
+    const auto result = synthesize(net);
+    EXPECT_EQ(result.splitters, 1);
+}
+
+TEST(Synth, UnbalancedPathsNeedDffs)
+{
+    // AND(XOR(a, b), c): c arrives one stage early -> one DFF.
+    Netlist net;
+    const int a = net.add_input("a");
+    const int b = net.add_input("b");
+    const int c = net.add_input("c");
+    const int x = net.add_gate(CellType::XOR2, {a, b});
+    net.mark_output(net.add_gate(CellType::AND2, {x, c}));
+    const auto result = synthesize(net);
+    EXPECT_EQ(result.balancing_dffs, 1);
+    EXPECT_EQ(result.logic_depth, 2);
+}
+
+TEST(Synth, BalancedTreeNeedsNoDffs)
+{
+    Netlist net;
+    std::vector<int> inputs;
+    for (int i = 0; i < 4; ++i) {
+        inputs.push_back(net.add_input("i" + std::to_string(i)));
+    }
+    net.mark_output(net.add_tree(CellType::OR2, inputs));
+    const auto result = synthesize(net);
+    EXPECT_EQ(result.balancing_dffs, 0);
+    EXPECT_EQ(result.logic_depth, 2);
+}
+
+TEST(CliqueCircuit, HasExpectedInterface)
+{
+    const RotatedSurfaceCode code(5);
+    const Netlist net = build_clique_netlist(code, 2);
+    // One raw input per check of each type.
+    EXPECT_EQ(net.num_inputs(), code.num_checks(CheckType::X) +
+                                    code.num_checks(CheckType::Z));
+    EXPECT_FALSE(net.outputs().empty());
+    // The global COMPLEX flag is the last marked output.
+    EXPECT_EQ(net.nodes()[net.outputs().back()].name, "COMPLEX");
+}
+
+TEST(CliqueCircuit, CostsGrowWithDistance)
+{
+    SynthesisResult prev{};
+    bool first = true;
+    for (const int d : {3, 5, 7, 9, 11}) {
+        const RotatedSurfaceCode code(d);
+        const auto result = synthesize(build_clique_netlist(code, 2));
+        if (!first) {
+            EXPECT_GT(result.jj_count, prev.jj_count);
+            EXPECT_GT(result.area_um2, prev.area_um2);
+        }
+        first = false;
+        prev = result;
+    }
+}
+
+TEST(CliqueCircuit, MoreFilterRoundsCostMoreDffs)
+{
+    const RotatedSurfaceCode code(5);
+    const auto two = synthesize(build_clique_netlist(code, 2));
+    const auto three = synthesize(build_clique_netlist(code, 3));
+    EXPECT_GT(three.gate_counts[static_cast<int>(CellType::DFF)],
+              two.gate_counts[static_cast<int>(CellType::DFF)]);
+    EXPECT_GT(three.jj_count, two.jj_count);
+}
+
+TEST(CliqueCircuit, LatencySubNanosecond)
+{
+    // §7.4: Clique latency is 0.1-0.3 ns across distances.
+    for (const int d : {3, 9, 21}) {
+        const RotatedSurfaceCode code(d);
+        const auto result = synthesize(build_clique_netlist(code, 2));
+        EXPECT_GT(result.critical_path_ps, 20.0);
+        EXPECT_LT(result.critical_path_ps, 1000.0) << "d=" << d;
+    }
+}
+
+TEST(CostModel, PowerScalesWithJjCount)
+{
+    const ErsfqOperatingPoint op;
+    SynthesisResult synth;
+    synth.jj_count = 1000;
+    const double p1 = op.power_uw(synth);
+    synth.jj_count = 2000;
+    EXPECT_DOUBLE_EQ(op.power_uw(synth), 2.0 * p1);
+    EXPECT_NEAR(p1, 1000 * 2e-19 * 25e9 * 1e6, 1e-9);
+}
+
+TEST(CostModel, NisqPlusReferencePlausible)
+{
+    const NisqPlusReference &ref = nisq_plus_reference();
+    EXPECT_EQ(ref.distance, 9);
+    EXPECT_GT(ref.power_uw, 100.0);
+    EXPECT_GT(ref.area_mm2, 1.0);
+    EXPECT_GT(ref.latency_ns, 0.1);
+}
+
+/**
+ * Combinational evaluator for netlists without DFFs (filter_rounds=1).
+ */
+std::vector<uint8_t>
+evaluate(const Netlist &net, const std::vector<uint8_t> &input_values)
+{
+    std::vector<uint8_t> value(net.nodes().size(), 0);
+    size_t next_input = 0;
+    for (size_t i = 0; i < net.nodes().size(); ++i) {
+        const auto &node = net.nodes()[i];
+        switch (node.type) {
+          case CellType::Input:
+            value[i] = input_values[next_input++] & 1;
+            break;
+          case CellType::XOR2:
+            value[i] = value[node.fanins[0]] ^ value[node.fanins[1]];
+            break;
+          case CellType::AND2:
+            value[i] = value[node.fanins[0]] & value[node.fanins[1]];
+            break;
+          case CellType::OR2:
+            value[i] = value[node.fanins[0]] | value[node.fanins[1]];
+            break;
+          case CellType::NOT:
+            value[i] = value[node.fanins[0]] ^ 1;
+            break;
+          default:
+            ADD_FAILURE() << "unexpected sequential cell";
+        }
+    }
+    return value;
+}
+
+TEST(CliqueCircuit, GateLevelMatchesBehavioralDecoder)
+{
+    // With a single filter round the circuit is purely combinational;
+    // its COMPLEX flag and correction wires must match the behavioural
+    // CliqueDecoder on random syndromes (both check types at once).
+    const RotatedSurfaceCode code(5);
+    const Netlist net = build_clique_netlist(code, 1);
+    const CliqueDecoder clique_x(code, CheckType::X);
+    const CliqueDecoder clique_z(code, CheckType::Z);
+    const int nx = code.num_checks(CheckType::X);
+    const int nz = code.num_checks(CheckType::Z);
+
+    Rng rng(404);
+    for (int iter = 0; iter < 300; ++iter) {
+        std::vector<uint8_t> sx(nx, 0);
+        std::vector<uint8_t> sz(nz, 0);
+        for (auto &s : sx) {
+            s = rng.bernoulli(0.12) ? 1 : 0;
+        }
+        for (auto &s : sz) {
+            s = rng.bernoulli(0.12) ? 1 : 0;
+        }
+        // Inputs were added X-type first, then Z-type.
+        std::vector<uint8_t> inputs;
+        inputs.insert(inputs.end(), sx.begin(), sx.end());
+        inputs.insert(inputs.end(), sz.begin(), sz.end());
+        const auto value = evaluate(net, inputs);
+
+        const auto out_x = clique_x.decode(sx);
+        const auto out_z = clique_z.decode(sz);
+        const bool expect_complex =
+            out_x.verdict == CliqueVerdict::Complex ||
+            out_z.verdict == CliqueVerdict::Complex;
+        ASSERT_EQ(value[net.outputs().back()] == 1, expect_complex)
+            << "iter=" << iter;
+
+        // When a half is trivial, its asserted correction wires must
+        // equal the behavioural corrections.
+        for (const auto &[detector, out, prefix] :
+             {std::tuple{CheckType::X, &out_x, std::string("x")},
+              std::tuple{CheckType::Z, &out_z, std::string("z")}}) {
+            if (out->verdict != CliqueVerdict::Trivial) {
+                continue;
+            }
+            std::set<int> asserted;
+            for (const int o : net.outputs()) {
+                const auto &node = net.nodes()[o];
+                if (value[o] && node.name.rfind(prefix + "_fix", 0) == 0) {
+                    asserted.insert(
+                        std::stoi(node.name.substr(prefix.size() + 4)));
+                }
+                if (value[o] &&
+                    node.name.rfind(prefix + "_bfix", 0) == 0) {
+                    const int check = std::stoi(
+                        node.name.substr(prefix.size() + 5));
+                    asserted.insert(
+                        code.boundary_data(detector, check).front());
+                }
+            }
+            const std::set<int> expected(out->corrections.begin(),
+                                         out->corrections.end());
+            ASSERT_EQ(asserted, expected)
+                << "type=" << prefix << " iter=" << iter;
+        }
+    }
+}
+
+} // namespace
+} // namespace btwc
