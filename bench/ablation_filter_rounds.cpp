@@ -59,6 +59,7 @@ main(int argc, char **argv)
         lconfig.p = p;
         lconfig.cycles = cycles;
         lconfig.filter_rounds = rounds;
+        lconfig.threads = threads_from_flags(flags);
         lconfig.seed = seed;
         const LifetimeStats stats = run_lifetime(lconfig);
 

@@ -49,6 +49,7 @@ main(int argc, char **argv)
         lconfig.p = p_data;
         lconfig.p_meas = p_meas;
         lconfig.cycles = cycles;
+        lconfig.threads = threads_from_flags(flags);
         lconfig.seed = seed;
         const LifetimeStats stats = run_lifetime(lconfig);
 

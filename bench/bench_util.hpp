@@ -14,6 +14,8 @@ namespace btwc {
  *   --cycles / --trials  override the Monte-Carlo volume
  *   --paper              restore the paper-scale volume (slow!)
  *   --seed               RNG seed
+ *   --threads            Monte-Carlo worker shards (0 = all cores;
+ *                        see threads_from_flags / sim/engine.hpp)
  *   --csv                emit CSV instead of the aligned table
  */
 inline uint64_t

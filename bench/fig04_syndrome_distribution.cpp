@@ -54,6 +54,7 @@ main(int argc, char **argv)
         run.distance = config.distance;
         run.p = config.p;
         run.cycles = cycles;
+        run.threads = threads_from_flags(flags);
         run.seed = seed;
         const LifetimeStats stats = run_lifetime(run);
         // Reported at decode granularity: the X- and Z-half signatures

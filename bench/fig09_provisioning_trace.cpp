@@ -38,6 +38,7 @@ main(int argc, char **argv)
     lconfig.distance = distance;
     lconfig.p = p;
     lconfig.cycles = bench_cycles(flags, 20000, 1000000);
+    lconfig.threads = threads_from_flags(flags);
     lconfig.seed = seed;
     const double q = run_lifetime(lconfig).offchip_fraction();
     std::printf("measured per-qubit off-chip probability q = %s "

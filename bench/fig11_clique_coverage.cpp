@@ -44,6 +44,7 @@ main(int argc, char **argv)
             config.distance = static_cast<int>(d);
             config.p = p;
             config.cycles = cycles;
+            config.threads = threads_from_flags(flags);
             config.seed = seed;
             const LifetimeStats stats = run_lifetime(config);
             row.push_back(

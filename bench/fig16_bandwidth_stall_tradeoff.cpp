@@ -25,6 +25,7 @@ main(int argc, char **argv)
     using namespace btwc;
     const Flags flags(argc, argv);
     const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    const int threads = threads_from_flags(flags);
     const uint64_t measure_cycles = bench_cycles(flags, 20000, 1000000);
     const uint64_t fleet_cycles = static_cast<uint64_t>(
         flags.get_int("fleet_cycles", 200000));
@@ -46,6 +47,7 @@ main(int argc, char **argv)
         lconfig.distance = point.distance;
         lconfig.p = point.p;
         lconfig.cycles = measure_cycles;
+        lconfig.threads = threads;
         lconfig.seed = seed;
         const double q = run_lifetime(lconfig).offchip_fraction();
 
@@ -53,10 +55,12 @@ main(int argc, char **argv)
         fleet.num_qubits = 1000;
         fleet.offchip_prob = q;
         fleet.cycles = fleet_cycles;
+        fleet.threads = threads;
         fleet.seed = seed;
 
-        const CountHistogram demand = fleet_demand_histogram(
-            FleetConfig{fleet.num_qubits, 100000, q, seed});
+        FleetConfig demand_config = fleet;
+        demand_config.cycles = 100000;
+        const CountHistogram demand = fleet_demand_histogram(demand_config);
         const uint64_t mean_b =
             std::max<uint64_t>(1, static_cast<uint64_t>(demand.mean()));
 

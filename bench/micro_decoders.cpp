@@ -15,6 +15,8 @@
 #include "core/clique.hpp"
 #include "core/filter.hpp"
 #include "core/system.hpp"
+#include "decoders/exact_decoder.hpp"
+#include "decoders/tier_chain.hpp"
 #include "matching/mwpm.hpp"
 #include "matching/union_find.hpp"
 #include "surface/frame.hpp"
@@ -148,6 +150,46 @@ BM_SpacetimeMwpmWindow(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SpacetimeMwpmWindow)->Arg(5)->Arg(9)->Arg(11);
+
+void
+BM_TierChainDeepDecode(benchmark::State &state)
+{
+    // The §8.1 three-tier chain on moderately complex signatures:
+    // dominated by the Union-Find mid-tier, with rare MWPM spills.
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const TierChain chain(code, CheckType::Z, TierChainConfig::deep());
+    Rng rng(7);
+    std::vector<std::vector<uint8_t>> syndromes;
+    for (int i = 0; i < 64; ++i) {
+        syndromes.push_back(
+            sample_syndrome(code, static_cast<int>(state.range(0)) / 2,
+                            rng));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chain.decode_syndrome(syndromes[i++ & 63]));
+    }
+}
+BENCHMARK(BM_TierChainDeepDecode)->Arg(5)->Arg(9)->Arg(21);
+
+void
+BM_ExactDecodeSyndrome(benchmark::State &state)
+{
+    // The subset-DP matching oracle on sparse syndromes (the
+    // cross-validation tier; exponential in the defect count).
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const ExactDecoder exact(code, CheckType::Z);
+    Rng rng(8);
+    std::vector<std::vector<uint8_t>> syndromes;
+    for (int i = 0; i < 64; ++i) {
+        syndromes.push_back(sample_syndrome(code, 3, rng));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(exact.decode_syndrome(syndromes[i++ & 63]));
+    }
+}
+BENCHMARK(BM_ExactDecodeSyndrome)->Arg(5)->Arg(9);
 
 } // namespace
 

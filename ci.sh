@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify with warnings promoted to errors, plus
+# a Release-mode smoke run of the quickstart example.
+#
+#   ./ci.sh            # full verify + smoke
+#   ./ci.sh --verify   # tier-1 verify only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1 verify (-Werror) =="
+cmake -B build-ci -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-Werror"
+cmake --build build-ci -j "${JOBS}"
+ctest --test-dir build-ci --output-on-failure --no-tests=error -j "${JOBS}"
+
+if [[ "${1:-}" == "--verify" ]]; then
+    exit 0
+fi
+
+echo
+echo "== Release smoke: examples/quickstart =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "${JOBS}" --target quickstart sweep_explorer
+./build-release/quickstart --distance 5 --p 0.003 --cycles 2000
+echo
+echo "== Release smoke: three-tier sharded lifetime =="
+./build-release/sweep_explorer lifetime --distance 9 --p 0.005 \
+    --cycles 20000 --tiers clique,uf,mwpm --threads 0
+echo
+echo "CI OK"

@@ -32,6 +32,7 @@ main(int argc, char **argv)
     LifetimeConfig lconfig;
     lconfig.distance = distance;
     lconfig.p = p;
+    lconfig.threads = threads_from_flags(flags);
     lconfig.cycles =
         static_cast<uint64_t>(flags.get_int("cycles", 30000));
     const double q = run_lifetime(lconfig).offchip_fraction();
@@ -44,6 +45,7 @@ main(int argc, char **argv)
     FleetConfig fleet;
     fleet.num_qubits = qubits;
     fleet.offchip_prob = q;
+    fleet.threads = threads_from_flags(flags);
     fleet.cycles = 100000;
     const CountHistogram demand = fleet_demand_histogram(fleet);
     std::printf("off-chip demand distribution (decodes/cycle): mean "

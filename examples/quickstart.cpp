@@ -4,8 +4,10 @@
  *
  * Builds a distance-5 rotated surface code, shows how a trivial error
  * signature is resolved on-chip by the Clique decoder, how a complex
- * signature is flagged and handed to the off-chip MWPM decoder, and
- * runs a short noisy lifetime through the full `BtwcSystem`.
+ * signature is flagged and handed to the off-chip MWPM decoder, how a
+ * deeper Clique -> Union-Find -> MWPM tier chain absorbs it on-chip
+ * instead, and runs a short noisy lifetime through the full
+ * `BtwcSystem`.
  *
  *     ./quickstart [--distance 5] [--p 0.003] [--cycles 2000]
  */
@@ -15,6 +17,7 @@
 #include "common/flags.hpp"
 #include "core/clique.hpp"
 #include "core/system.hpp"
+#include "decoders/tier_chain.hpp"
 #include "matching/mwpm.hpp"
 #include "surface/frame.hpp"
 #include "surface/lattice.hpp"
@@ -76,7 +79,25 @@ main(int argc, char **argv)
                     frame.syndrome_clear() ? "yes" : "no");
     }
 
-    // --- 3. The full pipeline under phenomenological noise. ---
+    // --- 3. The same complex signature through a deep tier chain. ---
+    // §8.1: a Union-Find mid-tier absorbs most COMPLEX hand-offs
+    // before anything has to leave the chip.
+    const TierChain chain(code, CheckType::Z, TierChainConfig::deep());
+    ErrorFrame chain_frame(code, CheckType::X);
+    chain_frame.flip(mid.data[0]);
+    chain_frame.flip(mid.data[3 % mid.data.size()]);
+    chain_frame.measure_perfect(syndrome);
+    const TierChain::Result chained = chain.decode_syndrome(syndrome);
+    chain_frame.apply_mask(chained.decode.correction);
+    std::printf("tier chain %s resolved it at tier '%s' (%s, growth "
+                "effort %d, syndrome clear: %s)\n\n",
+                chain.config().describe().c_str(),
+                decoder_tier_name(chained.tier),
+                chained.offchip ? "off-chip" : "on-chip",
+                chained.effort,
+                chain_frame.syndrome_clear() ? "yes" : "no");
+
+    // --- 4. The full pipeline under phenomenological noise. ---
     SystemConfig config;
     config.offchip = OffchipPolicy::Mwpm;
     BtwcSystem system(code, NoiseParams::uniform(p), config, 42);

@@ -6,6 +6,8 @@
  * sweep.
  *
  *     ./sweep_explorer lifetime  --distance 9 --p 0.005 --cycles 50000
+ *     ./sweep_explorer lifetime  --distance 21 --p 0.001 --cycles 200000
+ *                                --tiers clique,uf,mwpm --threads 8
  *     ./sweep_explorer memory    --distance 7 --p 0.008 --p_meas 0.016
  *                                --weighted --trials 20000
  *     ./sweep_explorer fleet     --qubits 2000 --q 0.004 --bandwidth 12
@@ -43,12 +45,18 @@ run_lifetime_cmd(const Flags &flags)
         static_cast<int>(flags.get_int("filter_rounds", 2));
     config.mode = flags.get_bool("pipeline") ? LifetimeMode::Pipeline
                                              : LifetimeMode::Signature;
+    config.tiers = TierChainConfig::parse(
+        flags.get("tiers", "clique,mwpm"),
+        static_cast<int>(flags.get_int("uf_threshold", 2)));
+    config.threads = threads_from_flags(flags);
     config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
     const LifetimeStats stats = run_lifetime(config);
 
     Table table({"metric", "value"});
     table.add_row({"mode", flags.get_bool("pipeline") ? "pipeline"
                                                       : "signature"});
+    table.add_row({"tiers", config.tiers.describe()});
+    table.add_row({"threads", std::to_string(config.threads)});
     table.add_row({"cycles", std::to_string(stats.cycles)});
     table.add_row({"coverage_per_decode_%",
                    Table::num(100.0 * stats.coverage_per_decode(), 3)});
@@ -56,6 +64,10 @@ run_lifetime_cmd(const Flags &flags)
                    Table::num(100.0 * stats.coverage(), 3)});
     table.add_row({"onchip_nonzero_%",
                    Table::num(100.0 * stats.onchip_nonzero_fraction(), 3)});
+    table.add_row({"offchip_per_cycle_%",
+                   Table::num(100.0 * stats.offchip_fraction(), 4)});
+    table.add_row({"midtier_absorption_%",
+                   Table::num(100.0 * stats.midtier_absorption(), 3)});
     table.add_row({"clique_data_reduction_x",
                    Table::num(stats.clique_data_reduction(), 1)});
     table.add_row({"mean_raw_syndrome_weight",
@@ -108,6 +120,7 @@ run_fleet_cmd(const Flags &flags)
     config.offchip_prob = flags.get_double("q", 4e-3);
     config.cycles =
         static_cast<uint64_t>(flags.get_int("cycles", 200000));
+    config.threads = threads_from_flags(flags);
     config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
     const uint64_t bandwidth =
         static_cast<uint64_t>(flags.get_int("bandwidth", 10));
@@ -136,25 +149,28 @@ run_hierarchy_cmd(const Flags &flags)
     const double p = flags.get_double("p", 1e-2);
     const uint64_t cycles =
         static_cast<uint64_t>(flags.get_int("cycles", 20000));
-    HierarchyConfig config;
-    config.uf_growth_threshold =
+    const int uf_threshold =
         static_cast<int>(flags.get_int("threshold", 2));
+    const TierChainConfig chain_config = TierChainConfig::parse(
+        flags.get("tiers", "clique,uf,mwpm"), uf_threshold);
 
     const RotatedSurfaceCode code(distance);
-    const HierarchicalDecoder hier(code, CheckType::Z, config);
+    const TierChain chain(code, CheckType::Z, chain_config);
     Rng rng(static_cast<uint64_t>(flags.get_int("seed", 1)));
     ErrorFrame frame(code, CheckType::X);
     std::vector<uint8_t> syndrome;
-    uint64_t tiers[3] = {0, 0, 0};
+    std::vector<uint64_t> tiers(chain.size(), 0);
     for (uint64_t i = 0; i < cycles; ++i) {
         frame.reset();
         frame.inject(p, rng);
         frame.measure_perfect(syndrome);
-        ++tiers[static_cast<int>(hier.decode(syndrome).tier)];
+        ++tiers[static_cast<size_t>(
+            chain.decode_syndrome(syndrome).tier_index)];
     }
+    std::printf("chain: %s\n\n", chain_config.describe().c_str());
     Table table({"tier", "decodes", "%"});
-    for (int t = 0; t < 3; ++t) {
-        table.add_row({decoder_tier_name(static_cast<DecoderTier>(t)),
+    for (size_t t = 0; t < chain.size(); ++t) {
+        table.add_row({decoder_tier_name(chain.spec(t).kind),
                        std::to_string(tiers[t]),
                        Table::num(100.0 * tiers[t] / cycles, 3)});
     }

@@ -104,4 +104,11 @@ Flags::get_double_list(const std::string &name, std::vector<double> def) const
     return out;
 }
 
+int
+threads_from_flags(const Flags &flags, int def)
+{
+    const int64_t raw = flags.get_int("threads", def);
+    return raw < 0 ? 0 : static_cast<int>(raw);
+}
+
 } // namespace btwc

@@ -51,4 +51,13 @@ class Flags
     std::vector<std::string> positional_;
 };
 
+/**
+ * Shared `--threads` convention for every bench and example binary:
+ * N >= 1 requests exactly N Monte-Carlo worker shards, 0 requests all
+ * hardware threads (resolved by sim/engine.hpp), and the default is
+ * the historical single-threaded behavior. Negative values clamp
+ * to 0 (= auto).
+ */
+int threads_from_flags(const Flags &flags, int def = 1);
+
 } // namespace btwc

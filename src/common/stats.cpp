@@ -30,6 +30,25 @@ RunningStats::stddev() const
 }
 
 void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+}
+
+void
 CountHistogram::add(uint64_t v, uint64_t weight)
 {
     if (v >= counts_.size()) {
@@ -37,6 +56,18 @@ CountHistogram::add(uint64_t v, uint64_t weight)
     }
     counts_[v] += weight;
     total_ += weight;
+}
+
+void
+CountHistogram::merge(const CountHistogram &other)
+{
+    if (other.counts_.size() > counts_.size()) {
+        counts_.resize(other.counts_.size(), 0);
+    }
+    for (size_t v = 0; v < other.counts_.size(); ++v) {
+        counts_[v] += other.counts_[v];
+    }
+    total_ += other.total_;
 }
 
 uint64_t

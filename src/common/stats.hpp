@@ -34,6 +34,14 @@ class RunningStats
     /** Sum of all observations. */
     double sum() const { return mean_ * static_cast<double>(count_); }
 
+    /**
+     * Fold another accumulator into this one (Chan et al.'s parallel
+     * variance combination), as if every observation of `other` had
+     * been `add`ed here. Backbone of the sharded Monte-Carlo engine
+     * (sim/engine.hpp).
+     */
+    void merge(const RunningStats &other);
+
   private:
     size_t count_ = 0;
     double mean_ = 0.0;
@@ -74,6 +82,13 @@ class CountHistogram
 
     /** Raw counts indexed by value. */
     const std::vector<uint64_t> &counts() const { return counts_; }
+
+    /**
+     * Fold another histogram into this one (exact: bin-wise count
+     * addition). Used to combine per-shard histograms from the
+     * multi-threaded Monte-Carlo engine.
+     */
+    void merge(const CountHistogram &other);
 
   private:
     std::vector<uint64_t> counts_;

@@ -2,57 +2,25 @@
 
 namespace btwc {
 
-const char *
-decoder_tier_name(DecoderTier tier)
-{
-    switch (tier) {
-      case DecoderTier::Clique:
-        return "clique";
-      case DecoderTier::UnionFind:
-        return "union-find";
-      case DecoderTier::Mwpm:
-        return "mwpm";
-    }
-    return "?";
-}
-
 HierarchicalDecoder::HierarchicalDecoder(const RotatedSurfaceCode &code,
                                          CheckType detector,
                                          HierarchyConfig config)
-    : code_(code), detector_(detector), config_(config),
-      clique_(code, detector), union_find_(code, detector),
-      mwpm_(code, detector)
+    : config_(config),
+      chain_(code, detector,
+             config.uf_growth_threshold > 0
+                 ? TierChainConfig::deep(config.uf_growth_threshold)
+                 : TierChainConfig::legacy())
 {
 }
 
 HierarchicalDecoder::Result
 HierarchicalDecoder::decode(const std::vector<uint8_t> &syndrome) const
 {
+    TierChain::Result chain_result = chain_.decode_syndrome(syndrome);
     Result result;
-    const CliqueOutcome outcome = clique_.decode(syndrome);
-    if (outcome.verdict != CliqueVerdict::Complex) {
-        result.tier = DecoderTier::Clique;
-        result.correction.assign(code_.num_data(), 0);
-        for (const int q : outcome.corrections) {
-            result.correction[q] = 1;
-        }
-        return result;
-    }
-
-    if (config_.uf_growth_threshold > 0) {
-        int growth = 0;
-        MwpmDecoder::Result uf_fix =
-            union_find_.decode_syndrome(syndrome, &growth);
-        result.uf_growth_rounds = growth;
-        if (growth <= config_.uf_growth_threshold) {
-            result.tier = DecoderTier::UnionFind;
-            result.correction = std::move(uf_fix.correction);
-            return result;
-        }
-    }
-
-    result.tier = DecoderTier::Mwpm;
-    result.correction = mwpm_.decode_syndrome(syndrome).correction;
+    result.tier = chain_result.tier;
+    result.uf_growth_rounds = chain_result.effort;
+    result.correction = std::move(chain_result.decode.correction);
     return result;
 }
 

@@ -3,23 +3,10 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/clique.hpp"
-#include "matching/mwpm.hpp"
-#include "matching/union_find.hpp"
+#include "decoders/tier_chain.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
-
-/** Which tier of the decode hierarchy resolved a signature. */
-enum class DecoderTier : uint8_t
-{
-    Clique = 0,     ///< on-chip combinational logic (tier 0)
-    UnionFind = 1,  ///< mid-tier cluster decoder (tier 1)
-    Mwpm = 2,       ///< full matching decoder (final tier)
-};
-
-/** Display name of a tier. */
-const char *decoder_tier_name(DecoderTier tier);
 
 /** Configuration of the decode hierarchy. */
 struct HierarchyConfig
@@ -46,6 +33,11 @@ struct HierarchyConfig
  * can itself detect -- via its cluster growth effort -- when a
  * signature deserves the exact matcher.
  *
+ * This is a convenience facade over the fully configurable
+ * `TierChain` (decoders/tier_chain.hpp), preserved for the common
+ * three-tier shape; arbitrary hierarchies (e.g. Clique -> UF ->
+ * Exact) are built directly from `TierChainConfig`.
+ *
  * Decode contract: the returned correction always clears the input
  * syndrome (perfect-measurement single round); the tier tells the
  * caller which stage paid for it. In the off-chip-bandwidth picture,
@@ -66,21 +58,20 @@ class HierarchicalDecoder
                         HierarchyConfig config = {});
 
     /** The check type this hierarchy decodes. */
-    CheckType detector() const { return detector_; }
+    CheckType detector() const { return chain_.detector(); }
 
     /** Active configuration. */
     const HierarchyConfig &config() const { return config_; }
+
+    /** The underlying tier chain. */
+    const TierChain &chain() const { return chain_; }
 
     /** Decode one (filtered) syndrome through the hierarchy. */
     Result decode(const std::vector<uint8_t> &syndrome) const;
 
   private:
-    const RotatedSurfaceCode &code_;
-    CheckType detector_;
     HierarchyConfig config_;
-    CliqueDecoder clique_;
-    UnionFindDecoder union_find_;
-    MwpmDecoder mwpm_;
+    TierChain chain_;
 };
 
 } // namespace btwc

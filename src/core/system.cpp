@@ -4,13 +4,12 @@ namespace btwc {
 
 BtwcSystem::BtwcSystem(const RotatedSurfaceCode &code, NoiseParams noise,
                        SystemConfig config, uint64_t seed)
-    : code_(code), noise_(noise), config_(config), rng_(seed)
+    : code_(code), noise_(noise), config_(std::move(config)), rng_(seed)
 {
     const CheckType error_types[2] = {CheckType::X, CheckType::Z};
     for (const CheckType err : error_types) {
         frames_.emplace_back(code_, err);
-        halves_.emplace_back(code_, detector_of_error(err),
-                             config_.filter_rounds);
+        halves_.emplace_back(code_, detector_of_error(err), config_);
     }
 }
 
@@ -20,9 +19,17 @@ BtwcSystem::step()
     CycleReport report;
     const int num_types = config_.track_both_types ? 2 : 1;
 
-    // Phase 1: noise injection + noisy measurement + filtering +
-    // Clique classification for each half.
-    CliqueOutcome outcomes[2];
+    // Under the Oracle policy off-chip tiers never actually run: the
+    // chain stops in front of them and the true error state is cleared
+    // instead. On-chip tiers (Clique, a configured Union-Find
+    // mid-tier) always run for real.
+    TierChain::Options chain_options;
+    chain_options.stop_before_offchip =
+        config_.offchip == OffchipPolicy::Oracle;
+
+    // Phase 1: noise injection + noisy measurement + filtering + tier
+    // chain classification for each half.
+    TierChain::Result outcomes[2];
     for (int t = 0; t < num_types; ++t) {
         ErrorFrame &frame = frames_[t];
         Half &half = halves_[t];
@@ -32,47 +39,65 @@ BtwcSystem::step()
             report.raw_weight += bit & 1;
         }
         const std::vector<uint8_t> &filtered = half.filter.push(half.raw);
-        outcomes[t] = half.clique.decode(filtered);
-        report.type_verdict[static_cast<int>(frame.detector())] =
-            outcomes[t].verdict;
+        outcomes[t] = half.chain.decode_syndrome(filtered, chain_options);
+
+        // Tier-0 classification, the Clique-verdict contract of the
+        // paper: nothing fired / resolved locally / escalated. It is
+        // identical for every chain sharing the same tier 0, deeper
+        // tiers only change who pays for the COMPLEX signatures.
+        CliqueVerdict verdict;
+        if (outcomes[t].decode.defects == 0) {
+            verdict = CliqueVerdict::AllZeros;
+        } else if (outcomes[t].tier_index == 0 && outcomes[t].resolved) {
+            verdict = CliqueVerdict::Trivial;
+        } else {
+            verdict = CliqueVerdict::Complex;
+        }
+        const int detector = static_cast<int>(frame.detector());
+        report.type_verdict[detector] = verdict;
+        report.tier_used[detector] = outcomes[t].tier;
+        report.type_offchip[detector] = outcomes[t].offchip;
     }
 
     // Combined verdict over both halves: the logical qubit's syndrome
-    // goes off-chip when either half raises the COMPLEX flag.
+    // leaves the chip when either half consulted an off-chip tier.
     report.verdict = CliqueVerdict::AllZeros;
     for (int t = 0; t < num_types; ++t) {
-        if (outcomes[t].verdict == CliqueVerdict::Complex) {
+        const int detector = static_cast<int>(frames_[t].detector());
+        const CliqueVerdict verdict = report.type_verdict[detector];
+        if (verdict == CliqueVerdict::Complex) {
             report.verdict = CliqueVerdict::Complex;
-        } else if (outcomes[t].verdict == CliqueVerdict::Trivial &&
+        } else if (verdict == CliqueVerdict::Trivial &&
                    report.verdict == CliqueVerdict::AllZeros) {
             report.verdict = CliqueVerdict::Trivial;
         }
+        report.offchip |= outcomes[t].offchip;
     }
-    report.offchip = report.verdict == CliqueVerdict::Complex;
 
-    // Phase 2: apply corrections. Trivial halves are corrected on-chip
-    // by Clique; complex halves are resolved off-chip.
+    // Phase 2: apply corrections. Halves resolved by an on-chip tier
+    // (or by a real off-chip decode) apply that tier's correction;
+    // oracle-substituted halves clear the true error state.
     for (int t = 0; t < num_types; ++t) {
         ErrorFrame &frame = frames_[t];
-        Half &half = halves_[t];
-        switch (outcomes[t].verdict) {
-          case CliqueVerdict::AllZeros:
-            break;
-          case CliqueVerdict::Trivial:
-            frame.apply(outcomes[t].corrections);
-            report.clique_corrections +=
-                static_cast<int>(outcomes[t].corrections.size());
-            break;
-          case CliqueVerdict::Complex:
-            if (config_.offchip == OffchipPolicy::Oracle) {
-                frame.reset();
-            } else {
-                const MwpmDecoder::Result fix =
-                    half.mwpm.decode_syndrome(half.filter.filtered());
-                frame.apply_mask(fix.correction);
-            }
-            break;
+        TierChain::Result &outcome = outcomes[t];
+        if (outcome.decode.defects == 0) {
+            continue;
         }
+        if (outcome.resolved) {
+            frame.apply_mask(outcome.decode.correction);
+            if (outcome.tier_index == 0) {
+                // Clique emits each corrected qubit once, so the
+                // decode weight is the mask popcount.
+                report.clique_corrections +=
+                    static_cast<int>(outcome.decode.weight);
+            }
+        } else if (chain_options.stop_before_offchip && outcome.offchip) {
+            frame.reset();  // oracle stands in for the off-chip tier
+        }
+        // Otherwise the chain's final tier declined (a degenerate
+        // chain with no resolver for this signature, e.g. Clique
+        // alone): the error persists and re-escalates next cycle --
+        // no silent oracle fix under a real-decode policy.
     }
 
     ++cycles_;

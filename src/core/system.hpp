@@ -7,7 +7,7 @@
 #include "common/rng.hpp"
 #include "core/clique.hpp"
 #include "core/filter.hpp"
-#include "matching/mwpm.hpp"
+#include "decoders/tier_chain.hpp"
 #include "surface/frame.hpp"
 #include "surface/lattice.hpp"
 #include "surface/noise.hpp"
@@ -15,15 +15,17 @@
 namespace btwc {
 
 /**
- * How the rare complex (off-chip) decodes are resolved inside the
- * lifetime simulator.
+ * How the rare off-chip decodes are resolved inside the lifetime
+ * simulator.
  *
- * `Mwpm` feeds the two-round-agreed (filtered) syndrome to the MWPM
- * decoder, exactly the hand-over the paper describes. `Oracle` clears
- * the true error state instead; it is statistically indistinguishable
- * for the distribution/coverage/bandwidth metrics (validated by the
- * test suite) and orders of magnitude faster at the d = 81
- * configurations of Fig. 4.
+ * `Mwpm` feeds the two-round-agreed (filtered) syndrome to the
+ * chain's off-chip tiers, exactly the hand-over the paper describes.
+ * `Oracle` clears the true error state instead of running an off-chip
+ * tier; it is statistically indistinguishable for the
+ * distribution/coverage/bandwidth metrics (validated by the test
+ * suite) and orders of magnitude faster at the d = 81 configurations
+ * of Fig. 4. On-chip tiers (Clique, and a Union-Find mid-tier when
+ * configured) always really run.
  */
 enum class OffchipPolicy : uint8_t { Oracle = 0, Mwpm = 1 };
 
@@ -33,6 +35,14 @@ struct SystemConfig
     int filter_rounds = 2;                       ///< Fig. 7 window
     OffchipPolicy offchip = OffchipPolicy::Oracle;
     bool track_both_types = true;                ///< decode X and Z halves
+    /**
+     * The decode hierarchy each half runs (tier 0 first). The default
+     * is the paper's two-tier Clique -> MWPM architecture; §8.1-style
+     * deeper chains (e.g. TierChainConfig::deep()) slot a Union-Find
+     * mid-tier in between, and arbitrary chains come from the CLI via
+     * TierChainConfig::parse.
+     */
+    TierChainConfig tiers = TierChainConfig::legacy();
 };
 
 /** What happened in one cycle of a BTWC pipeline. */
@@ -43,6 +53,15 @@ struct CycleReport
     /** Verdict of each half (indexed by CheckType of the detector). */
     CliqueVerdict type_verdict[2] = {CliqueVerdict::AllZeros,
                                      CliqueVerdict::AllZeros};
+    /**
+     * Deepest tier consulted by each half (indexed like type_verdict).
+     * Equals the tier that produced the correction, except under the
+     * Oracle policy where it names the off-chip tier the oracle stood
+     * in for.
+     */
+    DecoderTier tier_used[2] = {DecoderTier::Clique, DecoderTier::Clique};
+    /** Whether each half's decode consulted an off-chip tier. */
+    bool type_offchip[2] = {false, false};
     /** True when the cycle's syndrome had to go off-chip. */
     bool offchip = false;
     /** Fired bits in the cycle's raw syndrome, both halves (AFS input). */
@@ -54,7 +73,8 @@ struct CycleReport
 /**
  * The full BTWC decode pipeline of one logical qubit (Fig. 2):
  * phenomenological noise -> noisy syndrome measurement -> multi-round
- * measurement filter -> Clique decoder -> (rare) off-chip MWPM.
+ * measurement filter -> configurable decoder tier chain (Clique
+ * first, rare escalation to Union-Find and/or off-chip matching).
  *
  * `step()` advances one code cycle and reports the classification the
  * bandwidth allocator consumes. The bandwidth/stall machinery lives in
@@ -89,14 +109,13 @@ class BtwcSystem
     struct Half
     {
         Half(const RotatedSurfaceCode &code, CheckType detector,
-             int filter_rounds)
-            : clique(code, detector), mwpm(code, detector),
-              filter(code.num_checks(detector), filter_rounds)
+             const SystemConfig &config)
+            : chain(code, detector, config.tiers),
+              filter(code.num_checks(detector), config.filter_rounds)
         {
         }
 
-        CliqueDecoder clique;
-        MwpmDecoder mwpm;
+        TierChain chain;
         MeasurementFilter filter;
         std::vector<uint8_t> raw;
     };

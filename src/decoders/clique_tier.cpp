@@ -1,0 +1,40 @@
+#include "decoders/clique_tier.hpp"
+
+#include <cstddef>
+
+namespace btwc {
+
+CliqueTierDecoder::Result
+CliqueTierDecoder::decode(const std::vector<DetectionEvent> &events,
+                          int rounds) const
+{
+    Result result;
+    result.correction.assign(code_.num_data(), 0);
+    result.defects = static_cast<int>(events.size());
+    if (events.empty()) {
+        return result;  // nothing fired: resolved, nothing to do
+    }
+    if (rounds != 1) {
+        // Combinational logic sees one (filtered) round at a time.
+        result.resolved = false;
+        return result;
+    }
+
+    std::vector<uint8_t> syndrome(
+        static_cast<size_t>(code_.num_checks(detector())), 0);
+    for (const DetectionEvent &ev : events) {
+        syndrome[ev.check] ^= 1;
+    }
+    const CliqueOutcome outcome = clique_.decode(syndrome);
+    if (outcome.verdict == CliqueVerdict::Complex) {
+        result.resolved = false;
+        return result;
+    }
+    for (const int q : outcome.corrections) {
+        result.correction[q] ^= 1;
+        ++result.weight;
+    }
+    return result;
+}
+
+} // namespace btwc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "core/clique.hpp"
+#include "decoders/decoder.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/**
+ * Tier-0 adapter: the on-chip Clique decoder behind the abstract
+ * `Decoder` interface.
+ *
+ * Clique is a single-round combinational circuit, so this tier only
+ * accepts single-round inputs; multi-round event sets are declined
+ * (`resolved == false`) and escalate. Within a round the adapter maps
+ * Clique's verdicts onto the escalation contract:
+ *
+ *  - AllZeros / Trivial: resolved; the correction mask carries the
+ *    per-clique local fixes (empty for AllZeros).
+ *  - Complex: declined; the signature must escalate to the next tier.
+ *
+ * `effort` is always 0 -- Clique's decision is one pass of
+ * combinational logic regardless of the signature (Fig. 6).
+ */
+class CliqueTierDecoder : public Decoder
+{
+  public:
+    CliqueTierDecoder(const RotatedSurfaceCode &code, CheckType detector)
+        : code_(code), clique_(code, detector)
+    {
+    }
+
+    const char *name() const override { return "clique"; }
+
+    CheckType detector() const override { return clique_.detector(); }
+
+    Result decode(const std::vector<DetectionEvent> &events,
+                  int rounds) const override;
+
+    /** The wrapped combinational decoder. */
+    const CliqueDecoder &clique() const { return clique_; }
+
+  private:
+    const RotatedSurfaceCode &code_;
+    CliqueDecoder clique_;
+};
+
+} // namespace btwc

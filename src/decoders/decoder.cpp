@@ -1,0 +1,23 @@
+#include "decoders/decoder.hpp"
+
+namespace btwc {
+
+std::vector<DetectionEvent>
+events_from_syndrome(const std::vector<uint8_t> &syndrome)
+{
+    std::vector<DetectionEvent> events;
+    for (int c = 0; c < static_cast<int>(syndrome.size()); ++c) {
+        if (syndrome[c] & 1) {
+            events.push_back(DetectionEvent{c, 0});
+        }
+    }
+    return events;
+}
+
+Decoder::Result
+Decoder::decode_syndrome(const std::vector<uint8_t> &syndrome) const
+{
+    return decode(events_from_syndrome(syndrome), 1);
+}
+
+} // namespace btwc

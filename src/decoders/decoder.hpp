@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/**
+ * A detection event: check `check` of the decoder's type reported a
+ * syndrome *change* in measurement round `round` (0-based).
+ */
+struct DetectionEvent
+{
+    int check;
+    int round;
+};
+
+/**
+ * Detection events of a single perfect-measurement round: one event
+ * (round 0) per fired syndrome byte. Shared by every decode_syndrome
+ * convenience wrapper.
+ */
+std::vector<DetectionEvent>
+events_from_syndrome(const std::vector<uint8_t> &syndrome);
+
+/**
+ * Abstract decoder-tier interface.
+ *
+ * Every backend of the decode hierarchy -- the on-chip Clique logic,
+ * the Union-Find mid-tier, the blossom MWPM matcher, and the exact
+ * brute-force matcher -- implements this interface so that
+ * `TierChain` (tier_chain.hpp) can compose them into configurable
+ * hierarchies and the Monte-Carlo harnesses can treat them uniformly.
+ *
+ * Escalation contract (see also src/decoders/README.md): a tier
+ * communicates with the hierarchy exclusively through two fields of
+ * its `Result`:
+ *
+ *  - `resolved == false` means the tier *declined*: it cannot produce
+ *    a correction for this signature (e.g. Clique's COMPLEX verdict)
+ *    and the next tier must run. The correction mask is all-zero.
+ *  - `effort` is a cheap, hardware-friendly measure of how hard the
+ *    tier had to work (the `growth_rounds_out`-style signal of
+ *    union_find.hpp: Union-Find reports its half-edge growth
+ *    iterations, combinational tiers report 0). The chain escalates
+ *    past a *resolved* result when the effort exceeds the tier's
+ *    configured threshold -- the resolution is cheap but possibly
+ *    inaccurate, so a stronger decoder gets the final say.
+ */
+class Decoder
+{
+  public:
+    /** Result of one decode call. */
+    struct Result
+    {
+        std::vector<uint8_t> correction;  ///< per-data-qubit flip mask
+        int64_t weight = 0;               ///< total matched weight
+        int defects = 0;                  ///< number of detection events
+        int effort = 0;      ///< tier-specific escalation signal
+        bool resolved = true;  ///< false: tier declined; escalate
+    };
+
+    virtual ~Decoder() = default;
+
+    /** Short display name ("clique", "union-find", "mwpm", "exact"). */
+    virtual const char *name() const = 0;
+
+    /** The check type whose detection events are decoded. */
+    virtual CheckType detector() const = 0;
+
+    /**
+     * Decode a set of detection events observed over `rounds`
+     * measurement rounds (all event rounds must lie in [0, rounds)).
+     */
+    virtual Result decode(const std::vector<DetectionEvent> &events,
+                          int rounds) const = 0;
+
+    /**
+     * Convenience for perfect-measurement decoding: treat a single
+     * noiseless syndrome (one byte per check, nonzero = fired) as one
+     * round of detection events. Shared by all backends.
+     */
+    Result decode_syndrome(const std::vector<uint8_t> &syndrome) const;
+};
+
+} // namespace btwc

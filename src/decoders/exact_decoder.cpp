@@ -1,0 +1,11 @@
+#include "decoders/exact_decoder.hpp"
+
+namespace btwc {
+
+const char *
+ExactDecoder::name() const
+{
+    return "exact";
+}
+
+} // namespace btwc

@@ -1,0 +1,237 @@
+#include "decoders/tier_chain.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "decoders/clique_tier.hpp"
+#include "decoders/exact_decoder.hpp"
+#include "matching/mwpm.hpp"
+#include "matching/union_find.hpp"
+
+namespace btwc {
+
+namespace {
+
+std::unique_ptr<Decoder>
+make_tier_decoder(DecoderTier kind, const RotatedSurfaceCode &code,
+                  CheckType detector)
+{
+    switch (kind) {
+      case DecoderTier::Clique:
+        return std::make_unique<CliqueTierDecoder>(code, detector);
+      case DecoderTier::UnionFind:
+        return std::make_unique<UnionFindDecoder>(code, detector);
+      case DecoderTier::Mwpm:
+        return std::make_unique<MwpmDecoder>(code, detector);
+      case DecoderTier::Exact:
+        return std::make_unique<ExactDecoder>(code, detector);
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const char *
+decoder_tier_name(DecoderTier tier)
+{
+    switch (tier) {
+      case DecoderTier::Clique:
+        return "clique";
+      case DecoderTier::UnionFind:
+        return "union-find";
+      case DecoderTier::Mwpm:
+        return "mwpm";
+      case DecoderTier::Exact:
+        return "exact";
+    }
+    return "?";
+}
+
+TierSpec
+TierSpec::clique()
+{
+    return TierSpec{DecoderTier::Clique, -1, false};
+}
+
+TierSpec
+TierSpec::union_find(int escalation_threshold)
+{
+    return TierSpec{DecoderTier::UnionFind, escalation_threshold, false};
+}
+
+TierSpec
+TierSpec::mwpm()
+{
+    return TierSpec{DecoderTier::Mwpm, -1, true};
+}
+
+TierSpec
+TierSpec::exact()
+{
+    return TierSpec{DecoderTier::Exact, -1, true};
+}
+
+TierChainConfig
+TierChainConfig::legacy()
+{
+    return TierChainConfig{{TierSpec::clique(), TierSpec::mwpm()}};
+}
+
+TierChainConfig
+TierChainConfig::deep(int uf_threshold)
+{
+    return TierChainConfig{{TierSpec::clique(),
+                            TierSpec::union_find(uf_threshold),
+                            TierSpec::mwpm()}};
+}
+
+TierChainConfig
+TierChainConfig::parse(const std::string &spec, int uf_threshold)
+{
+    if (spec.empty()) {
+        return legacy();
+    }
+    TierChainConfig config;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t end = spec.find(',', start);
+        if (end == std::string::npos) {
+            end = spec.size();
+        }
+        std::string token = spec.substr(start, end - start);
+        start = end + 1;
+        if (token.empty()) {
+            continue;
+        }
+        bool has_threshold = false;
+        long threshold = 0;
+        const size_t colon = token.find(':');
+        if (colon != std::string::npos) {
+            const std::string suffix = token.substr(colon + 1);
+            char *end = nullptr;
+            threshold = std::strtol(suffix.c_str(), &end, 10);
+            if (suffix.empty() || end == nullptr || *end != '\0') {
+                std::fprintf(stderr,
+                             "malformed tier threshold '%s' in spec "
+                             "'%s'; expected an integer after ':'\n",
+                             suffix.c_str(), spec.c_str());
+                std::exit(2);
+            }
+            has_threshold = true;
+            token = token.substr(0, colon);
+        }
+        TierSpec tier;
+        if (token == "clique") {
+            tier = TierSpec::clique();
+        } else if (token == "uf" || token == "union-find" ||
+                   token == "unionfind") {
+            tier = TierSpec::union_find(uf_threshold);
+        } else if (token == "mwpm" || token == "matching") {
+            tier = TierSpec::mwpm();
+        } else if (token == "exact") {
+            tier = TierSpec::exact();
+        } else {
+            std::fprintf(stderr,
+                         "unknown decoder tier '%s' in spec '%s'; "
+                         "expected clique | uf | union-find | mwpm | "
+                         "exact (optionally ':<threshold>')\n",
+                         token.c_str(), spec.c_str());
+            std::exit(2);
+        }
+        if (has_threshold) {
+            tier.escalation_threshold = static_cast<int>(threshold);
+        }
+        config.tiers.push_back(tier);
+    }
+    if (config.tiers.empty()) {
+        return legacy();
+    }
+    return config;
+}
+
+std::string
+TierChainConfig::describe() const
+{
+    std::string out;
+    for (const TierSpec &tier : tiers) {
+        if (!out.empty()) {
+            out += '>';
+        }
+        out += decoder_tier_name(tier.kind);
+        if (tier.escalation_threshold >= 0) {
+            out += '(';
+            out += std::to_string(tier.escalation_threshold);
+            out += ')';
+        }
+    }
+    return out;
+}
+
+TierChain::TierChain(const RotatedSurfaceCode &code, CheckType detector,
+                     TierChainConfig config)
+    : detector_(detector), config_(std::move(config))
+{
+    if (config_.tiers.empty()) {
+        // A default-constructed TierChainConfig means "no opinion";
+        // fall back to the paper's architecture (matching parse("")).
+        config_ = TierChainConfig::legacy();
+    }
+    tiers_.reserve(config_.tiers.size());
+    for (const TierSpec &tier : config_.tiers) {
+        tiers_.push_back(make_tier_decoder(tier.kind, code, detector));
+    }
+}
+
+TierChain::Result
+TierChain::decode(const std::vector<DetectionEvent> &events, int rounds,
+                  const Options &options) const
+{
+    Result result;
+    if (events.empty()) {
+        // Nothing fired: tier 0 resolves trivially and nothing leaves
+        // the chip, regardless of where the chain's tiers live (and
+        // regardless of stop_before_offchip).
+        result.tier = config_.tiers[0].kind;
+        result.decode = tiers_[0]->decode(events, rounds);
+        result.resolved = true;
+        return result;
+    }
+    int observed_effort = 0;
+    const size_t last = tiers_.size() - 1;
+    for (size_t i = 0; i <= last; ++i) {
+        const TierSpec &spec = config_.tiers[i];
+        result.tier_index = static_cast<int>(i);
+        result.tier = spec.kind;
+        result.offchip = spec.offchip;
+        if (options.stop_before_offchip && spec.offchip) {
+            // The caller substitutes an oracle for this tier.
+            result.resolved = false;
+            result.effort = observed_effort;
+            result.decode.defects = static_cast<int>(events.size());
+            return result;
+        }
+        Decoder::Result attempt = tiers_[i]->decode(events, rounds);
+        if (attempt.effort > observed_effort) {
+            observed_effort = attempt.effort;
+        }
+        const bool accept =
+            attempt.resolved && (spec.escalation_threshold < 0 ||
+                                 attempt.effort <= spec.escalation_threshold);
+        if (accept || i == last) {
+            result.resolved = attempt.resolved;
+            result.effort = observed_effort;
+            result.decode = std::move(attempt);
+            return result;
+        }
+    }
+    return result;  // unreachable; the final tier always returns
+}
+
+TierChain::Result
+TierChain::decode_syndrome(const std::vector<uint8_t> &syndrome,
+                           const Options &options) const
+{
+    return decode(events_from_syndrome(syndrome), 1, options);
+}
+
+} // namespace btwc

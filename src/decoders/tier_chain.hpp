@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decoders/decoder.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/** Which tier of the decode hierarchy resolved a signature. */
+enum class DecoderTier : uint8_t
+{
+    Clique = 0,     ///< on-chip combinational logic (tier 0)
+    UnionFind = 1,  ///< mid-tier cluster decoder (tier 1)
+    Mwpm = 2,       ///< full matching decoder (final tier)
+    Exact = 3,      ///< brute-force matching oracle (cross-validation)
+};
+
+/** Display name of a tier. */
+const char *decoder_tier_name(DecoderTier tier);
+
+/** One level of a decode hierarchy. */
+struct TierSpec
+{
+    DecoderTier kind = DecoderTier::Clique;
+
+    /**
+     * Escalate past this tier when its decode reports
+     * `Result::effort` above this value (even though it produced a
+     * correction): the resolution was cheap but the signature was
+     * non-local enough that a stronger decoder should confirm.
+     * Negative = never escalate on effort. A tier that *declines*
+     * (`Result::resolved == false`, e.g. Clique's COMPLEX verdict)
+     * always escalates regardless of this threshold. The final tier
+     * always has the last word.
+     */
+    int escalation_threshold = -1;
+
+    /**
+     * Whether the tier's decoder lives off-chip. Off-chip tiers are
+     * what the bandwidth model provisions for; they are also the tiers
+     * an `Oracle` off-chip policy may substitute (see
+     * TierChain::Options::stop_before_offchip).
+     */
+    bool offchip = false;
+
+    static TierSpec clique();
+    static TierSpec union_find(int escalation_threshold = 2);
+    static TierSpec mwpm();
+    static TierSpec exact();
+};
+
+/** An ordered decode hierarchy configuration. */
+struct TierChainConfig
+{
+    std::vector<TierSpec> tiers;
+
+    /** The paper's baseline architecture: Clique -> MWPM. */
+    static TierChainConfig legacy();
+
+    /** The §8.1 deep hierarchy: Clique -> Union-Find -> MWPM. */
+    static TierChainConfig deep(int uf_threshold = 2);
+
+    /**
+     * Parse a comma-separated tier spec from the CLI flag layer, e.g.
+     * "clique,uf,mwpm" or "clique,union-find:3,exact". Recognized
+     * tiers: clique | uf | union-find | mwpm | exact; an optional
+     * ":<n>" suffix sets the tier's escalation threshold (defaulting
+     * to `uf_threshold` for Union-Find tiers). An empty spec yields
+     * the legacy chain. Malformed specs abort with a message on
+     * stderr (CLI contract, cf. common/flags.hpp).
+     */
+    static TierChainConfig parse(const std::string &spec,
+                                 int uf_threshold = 2);
+
+    /** Human-readable form, e.g. "clique>union-find(2)>mwpm". */
+    std::string describe() const;
+};
+
+/**
+ * A configurable decode hierarchy: ordered `Decoder` tiers with
+ * per-tier escalation predicates (see TierSpec). This is the seam the
+ * paper's §8.1 "deeper hierarchies" extension plugs into, and the one
+ * `BtwcSystem` (core/system.hpp) and the Monte-Carlo harnesses
+ * consume. File-level escalation contract: src/decoders/README.md.
+ */
+class TierChain
+{
+  public:
+    /** Outcome of one hierarchical decode. */
+    struct Result
+    {
+        int tier_index = 0;                     ///< chain position consulted last
+        DecoderTier tier = DecoderTier::Clique; ///< its kind
+        bool offchip = false;  ///< that tier lives off-chip
+        /**
+         * False only when the chain stopped before an off-chip tier
+         * (Options::stop_before_offchip) or a trailing tier declined;
+         * the caller owns the substitute resolution then.
+         */
+        bool resolved = true;
+        /**
+         * Largest `Decoder::Result::effort` observed across all
+         * consulted tiers -- e.g. the Union-Find growth-iteration
+         * count even when the chain escalated past it to MWPM.
+         */
+        int effort = 0;
+        Decoder::Result decode;  ///< accepting tier's full result
+    };
+
+    struct Options
+    {
+        /**
+         * Stop before *running* an off-chip tier: the caller will
+         * substitute an oracle for it (OffchipPolicy::Oracle) or only
+         * needs the on-chip classification. The returned Result names
+         * the off-chip tier with `resolved == false`.
+         */
+        bool stop_before_offchip = false;
+    };
+
+    TierChain(const RotatedSurfaceCode &code, CheckType detector,
+              TierChainConfig config);
+
+    /** The check type this hierarchy decodes. */
+    CheckType detector() const { return detector_; }
+
+    /** Number of tiers. */
+    size_t size() const { return tiers_.size(); }
+
+    /** Spec of tier i. */
+    const TierSpec &spec(size_t i) const { return config_.tiers[i]; }
+
+    /** Decoder backend of tier i. */
+    const Decoder &decoder(size_t i) const { return *tiers_[i]; }
+
+    /** Active configuration. */
+    const TierChainConfig &config() const { return config_; }
+
+    /** Decode detection events through the hierarchy. */
+    Result decode(const std::vector<DetectionEvent> &events, int rounds,
+                  const Options &options) const;
+    Result decode(const std::vector<DetectionEvent> &events,
+                  int rounds) const
+    {
+        return decode(events, rounds, Options());
+    }
+
+    /** Single perfect-measurement round through the hierarchy. */
+    Result decode_syndrome(const std::vector<uint8_t> &syndrome,
+                           const Options &options) const;
+    Result decode_syndrome(const std::vector<uint8_t> &syndrome) const
+    {
+        return decode_syndrome(syndrome, Options());
+    }
+
+  private:
+    CheckType detector_;
+    TierChainConfig config_;
+    std::vector<std::unique_ptr<Decoder>> tiers_;
+};
+
+} // namespace btwc

@@ -31,4 +31,17 @@ int64_t exact_min_weight_with_boundary(
     int n, const std::vector<std::vector<int64_t>> &weights,
     const std::vector<int64_t> &boundary);
 
+/**
+ * As `exact_min_weight_with_boundary`, additionally recovering an
+ * optimal assignment by DP backtracking: `mates[u]` is the vertex u is
+ * paired with, or -1 when u retires to the boundary. Used by the
+ * `ExactDecoder` backend (decoders/exact_decoder.hpp).
+ *
+ * @return minimum total cost, or -1 when some vertex can neither reach
+ *         the boundary nor any partner (then `mates` is unspecified)
+ */
+int64_t exact_min_weight_with_boundary_mates(
+    int n, const std::vector<std::vector<int64_t>> &weights,
+    const std::vector<int64_t> &boundary, std::vector<int> &mates);
+
 } // namespace btwc

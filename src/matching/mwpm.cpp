@@ -5,12 +5,23 @@
 #include <queue>
 
 #include "matching/blossom.hpp"
+#include "matching/exact.hpp"
 
 namespace btwc {
 
 namespace {
+
 constexpr int kNoNode = -1;
-}
+
+/**
+ * Largest defect count handed to the subset-DP matcher: O(2^k * k)
+ * time and O(2^k) memory, so 18 keeps a single decode under ~5M ops.
+ * Beyond it the ExactDp backend falls back to blossom (which the
+ * property tests verify is exact anyway).
+ */
+constexpr int kExactDpMaxDefects = 18;
+
+} // namespace
 
 int
 log_likelihood_weight(double p, double scale)
@@ -21,10 +32,11 @@ log_likelihood_weight(double p, double scale)
 }
 
 MwpmDecoder::MwpmDecoder(const RotatedSurfaceCode &code, CheckType detector,
-                         int space_weight, int time_weight)
+                         int space_weight, int time_weight, Matcher matcher)
     : code_(code), detector_(detector),
       num_checks_(code.num_checks(detector)),
-      space_weight_(space_weight), time_weight_(time_weight)
+      space_weight_(space_weight), time_weight_(time_weight),
+      matcher_(matcher)
 {
     assert(space_weight >= 1 && time_weight >= 1);
 }
@@ -114,31 +126,62 @@ MwpmDecoder::decode(const std::vector<DetectionEvent> &events,
         }
     }
 
-    // Build the 2k matching instance: defects 0..k-1, boundary twins
-    // k..2k-1, twin-twin edges free.
-    const int n = 2 * k;
-    std::vector<std::vector<int64_t>> w(n, std::vector<int64_t>(n, -1));
-    for (int i = 0; i < k; ++i) {
-        for (int j = i + 1; j < k; ++j) {
-            const int nj = node_id(events[j].check, events[j].round);
-            const int d = dist[i][nj];
-            if (d >= 0) {
-                w[i][j] = d;
-                w[j][i] = d;
+    // Solve the pairing: mate_defect[i] is another defect index, or -1
+    // for a boundary retirement.
+    std::vector<int> mate_defect;
+    if (matcher_ == Matcher::ExactDp && k <= kExactDpMaxDefects) {
+        std::vector<std::vector<int64_t>> w(
+            k, std::vector<int64_t>(k, -1));
+        for (int i = 0; i < k; ++i) {
+            for (int j = i + 1; j < k; ++j) {
+                const int nj = node_id(events[j].check, events[j].round);
+                const int d = dist[i][nj];
+                if (d >= 0) {
+                    w[i][j] = d;
+                    w[j][i] = d;
+                }
             }
         }
-        if (boundary_dist[i] >= 0) {
-            w[i][k + i] = boundary_dist[i];
-            w[k + i][i] = boundary_dist[i];
+        const int64_t total = exact_min_weight_with_boundary_mates(
+            k, w, boundary_dist, mate_defect);
+        assert(total >= 0 &&
+               "defect graph always admits a boundary matching");
+        (void)total;
+    } else {
+        // Build the 2k matching instance: defects 0..k-1, boundary
+        // twins k..2k-1, twin-twin edges free.
+        const int n = 2 * k;
+        std::vector<std::vector<int64_t>> w(n,
+                                            std::vector<int64_t>(n, -1));
+        for (int i = 0; i < k; ++i) {
+            for (int j = i + 1; j < k; ++j) {
+                const int nj = node_id(events[j].check, events[j].round);
+                const int d = dist[i][nj];
+                if (d >= 0) {
+                    w[i][j] = d;
+                    w[j][i] = d;
+                }
+            }
+            if (boundary_dist[i] >= 0) {
+                w[i][k + i] = boundary_dist[i];
+                w[k + i][i] = boundary_dist[i];
+            }
+            for (int j = i + 1; j < k; ++j) {
+                w[k + i][k + j] = 0;
+                w[k + j][k + i] = 0;
+            }
         }
-        for (int j = i + 1; j < k; ++j) {
-            w[k + i][k + j] = 0;
-            w[k + j][k + i] = 0;
+
+        const std::vector<int> mate = min_weight_perfect_matching(n, w);
+        assert(!mate.empty() &&
+               "defect graph always admits a perfect matching");
+        mate_defect.assign(k, -1);
+        for (int i = 0; i < k; ++i) {
+            // Matched to own boundary twin (twin-twin edges are only
+            // interconnected among themselves) or to another defect.
+            mate_defect[i] = mate[i] < k ? mate[i] : -1;
         }
     }
-
-    const std::vector<int> mate = min_weight_perfect_matching(n, w);
-    assert(!mate.empty() && "defect graph always admits a perfect matching");
 
     auto walk_back = [&](int i, int from_node) {
         // XOR the space-edge data qubits on the path from `from_node`
@@ -154,31 +197,19 @@ MwpmDecoder::decode(const std::vector<DetectionEvent> &events,
     };
 
     for (int i = 0; i < k; ++i) {
-        const int m = mate[i];
-        if (m == k + i) {
-            // Matched to own boundary twin: path to the boundary.
+        const int m = mate_defect[i];
+        if (m < 0) {
+            // Boundary retirement: path to the nearest boundary qubit.
             result.weight += boundary_dist[i];
             result.correction[boundary_via[i]] ^= 1;
             walk_back(i, boundary_node[i]);
-        } else if (m > i && m < k) {
+        } else if (m > i) {
             const int nj = node_id(events[m].check, events[m].round);
             result.weight += dist[i][nj];
             walk_back(i, nj);
         }
     }
     return result;
-}
-
-MwpmDecoder::Result
-MwpmDecoder::decode_syndrome(const std::vector<uint8_t> &syndrome) const
-{
-    std::vector<DetectionEvent> events;
-    for (int c = 0; c < num_checks_; ++c) {
-        if (syndrome[c] & 1) {
-            events.push_back(DetectionEvent{c, 0});
-        }
-    }
-    return decode(events, 1);
 }
 
 } // namespace btwc

@@ -3,19 +3,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "decoders/decoder.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
-
-/**
- * A detection event: check `check` of the decoder's type reported a
- * syndrome *change* in measurement round `round` (0-based).
- */
-struct DetectionEvent
-{
-    int check;
-    int round;
-};
 
 /**
  * Minimum Weight Perfect Matching decoder over the spacetime decoding
@@ -29,19 +20,24 @@ struct DetectionEvent
  * measurement error probabilities.
  *
  * Defect pairwise distances come from breadth-first search; the
- * pairing is solved exactly with the blossom algorithm (each defect
- * also gets a zero-cost-interconnected boundary twin, the standard
- * construction for codes with boundaries).
+ * pairing is solved with the configured `Matcher` backend: the blossom
+ * algorithm (each defect also gets a zero-cost-interconnected boundary
+ * twin, the standard construction for codes with boundaries), or the
+ * brute-force subset DP of matching/exact.hpp, which is exact by
+ * construction and backs the `ExactDecoder` cross-validation tier.
  */
-class MwpmDecoder
+class MwpmDecoder : public Decoder
 {
   public:
-    /** Result of one decode call. */
-    struct Result
+    /** Backwards-compatible alias; see Decoder::Result. */
+    using Result = Decoder::Result;
+
+    /** Pairing engine used on the defect distance graph. */
+    enum class Matcher : uint8_t
     {
-        std::vector<uint8_t> correction;  ///< per-data-qubit flip mask
-        int64_t weight = 0;               ///< total matched weight
-        int defects = 0;                  ///< number of detection events
+        Blossom = 0,  ///< O(V^3) primal-dual blossom (production path)
+        ExactDp = 1,  ///< subset DP oracle; falls back to Blossom when
+                      ///< the defect count exceeds its feasible range
     };
 
     /**
@@ -49,29 +45,27 @@ class MwpmDecoder
      * @param detector     which check type's events this decoder consumes
      * @param space_weight weight of space (data qubit) and boundary edges
      * @param time_weight  weight of time (measurement) edges
+     * @param matcher      pairing engine (see Matcher)
      *
      * Unit weights are exact for the paper's p_data == p_meas model;
      * for asymmetric noise pass log-likelihood weights (see
      * `log_likelihood_weight`).
      */
     MwpmDecoder(const RotatedSurfaceCode &code, CheckType detector,
-                int space_weight = 1, int time_weight = 1);
+                int space_weight = 1, int time_weight = 1,
+                Matcher matcher = Matcher::Blossom);
+
+    const char *name() const override { return "mwpm"; }
 
     /** The check type whose detection events are decoded. */
-    CheckType detector() const { return detector_; }
+    CheckType detector() const override { return detector_; }
 
     /**
      * Decode a set of detection events observed over `rounds`
      * measurement rounds (all event rounds must lie in [0, rounds)).
      */
     Result decode(const std::vector<DetectionEvent> &events,
-                  int rounds) const;
-
-    /**
-     * Convenience for perfect-measurement decoding: treat a single
-     * noiseless syndrome as one round of detection events.
-     */
-    Result decode_syndrome(const std::vector<uint8_t> &syndrome) const;
+                  int rounds) const override;
 
   private:
     int node_id(int check, int round) const { return round * num_checks_ + check; }
@@ -81,6 +75,7 @@ class MwpmDecoder
     int num_checks_;
     int space_weight_;
     int time_weight_;
+    Matcher matcher_;
 };
 
 /**

@@ -76,16 +76,13 @@ UnionFindDecoder::UnionFindDecoder(const RotatedSurfaceCode &code,
 {
 }
 
-MwpmDecoder::Result
+UnionFindDecoder::Result
 UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
-                         int rounds, int *growth_rounds_out) const
+                         int rounds) const
 {
-    MwpmDecoder::Result result;
+    Result result;
     result.correction.assign(code_.num_data(), 0);
     result.defects = static_cast<int>(events.size());
-    if (growth_rounds_out) {
-        *growth_rounds_out = 0;
-    }
     if (events.empty()) {
         return result;
     }
@@ -184,9 +181,7 @@ UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
         }
     }
 
-    if (growth_rounds_out) {
-        *growth_rounds_out = growth_rounds;
-    }
+    result.effort = growth_rounds;
 
     // Peeling: spanning forest over fully grown edges, rooted at the
     // boundary where reachable, then transfer defects leaf-to-root.
@@ -254,17 +249,26 @@ UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
     return result;
 }
 
-MwpmDecoder::Result
+UnionFindDecoder::Result
+UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
+                         int rounds, int *growth_rounds_out) const
+{
+    Result result = decode(events, rounds);
+    if (growth_rounds_out) {
+        *growth_rounds_out = result.effort;
+    }
+    return result;
+}
+
+UnionFindDecoder::Result
 UnionFindDecoder::decode_syndrome(const std::vector<uint8_t> &syndrome,
                                   int *growth_rounds_out) const
 {
-    std::vector<DetectionEvent> events;
-    for (int c = 0; c < num_checks_; ++c) {
-        if (syndrome[c] & 1) {
-            events.push_back(DetectionEvent{c, 0});
-        }
+    Result result = Decoder::decode_syndrome(syndrome);
+    if (growth_rounds_out) {
+        *growth_rounds_out = result.effort;
     }
-    return decode(events, 1, growth_rounds_out);
+    return result;
 }
 
 } // namespace btwc

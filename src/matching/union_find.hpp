@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "matching/mwpm.hpp"
+#include "decoders/decoder.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
@@ -23,32 +23,43 @@ namespace btwc {
  * even or they touch the lattice boundary; the grown support (erasure)
  * is then peeled from the leaves of a spanning forest to produce the
  * correction.
+ *
+ * As a `Decoder` tier, the number of half-edge growth iterations the
+ * cluster stage needed is reported as `Result::effort`: a cheap,
+ * hardware-friendly measure of how non-local the signature was (0 =
+ * nothing to grow). The tier chain (§8.1) escalates to MWPM above a
+ * configured threshold.
  */
-class UnionFindDecoder
+class UnionFindDecoder : public Decoder
 {
   public:
     UnionFindDecoder(const RotatedSurfaceCode &code, CheckType detector);
 
+    const char *name() const override { return "union-find"; }
+
     /** The check type whose detection events are decoded. */
-    CheckType detector() const { return detector_; }
+    CheckType detector() const override { return detector_; }
 
     /**
      * Decode detection events over `rounds` rounds (cf. MwpmDecoder).
-     *
-     * @param growth_rounds_out if non-null, receives the number of
-     *        half-edge growth iterations the cluster stage needed: a
-     *        cheap, hardware-friendly measure of how non-local the
-     *        signature was (0 = nothing to grow). The hierarchical
-     *        decoder (§8.1) escalates to MWPM above a threshold.
+     * `Result::effort` carries the cluster growth iteration count.
      */
-    MwpmDecoder::Result decode(const std::vector<DetectionEvent> &events,
-                               int rounds,
-                               int *growth_rounds_out = nullptr) const;
+    Result decode(const std::vector<DetectionEvent> &events,
+                  int rounds) const override;
+
+    /**
+     * Legacy spelling of the growth signal: as `decode`, but also
+     * stores the growth iteration count through `growth_rounds_out`
+     * when non-null (it always equals `Result::effort`).
+     */
+    Result decode(const std::vector<DetectionEvent> &events, int rounds,
+                  int *growth_rounds_out) const;
+
+    using Decoder::decode_syndrome;
 
     /** Single perfect-measurement round convenience wrapper. */
-    MwpmDecoder::Result
-    decode_syndrome(const std::vector<uint8_t> &syndrome,
-                    int *growth_rounds_out = nullptr) const;
+    Result decode_syndrome(const std::vector<uint8_t> &syndrome,
+                           int *growth_rounds_out) const;
 
   private:
     const RotatedSurfaceCode &code_;

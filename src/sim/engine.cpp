@@ -1,0 +1,41 @@
+#include "sim/engine.hpp"
+
+#include "common/rng.hpp"
+
+namespace btwc {
+
+int
+resolve_threads(int requested)
+{
+    if (requested >= 1) {
+        return requested;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<Shard>
+plan_shards(uint64_t cycles, int shards, uint64_t seed)
+{
+    std::vector<Shard> plan;
+    if (cycles == 0 || shards <= 1) {
+        plan.push_back(Shard{0, cycles, seed});
+        return plan;
+    }
+    const uint64_t n = static_cast<uint64_t>(shards);
+    Rng seeder(seed);
+    for (uint64_t i = 0; i < n; ++i) {
+        // Draw every shard's seed even for dropped empty shards so the
+        // stream assignment is independent of the cycle count.
+        const uint64_t shard_seed = seeder.next_u64();
+        const uint64_t shard_cycles = cycles / n + (i < cycles % n ? 1 : 0);
+        if (shard_cycles == 0) {
+            continue;
+        }
+        plan.push_back(
+            Shard{static_cast<int>(plan.size()), shard_cycles, shard_seed});
+    }
+    return plan;
+}
+
+} // namespace btwc

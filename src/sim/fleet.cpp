@@ -1,50 +1,135 @@
 #include "sim/fleet.hpp"
 
+#include <thread>
+
 #include "common/rng.hpp"
 #include "core/stall.hpp"
+#include "sim/engine.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
 
+namespace {
+
+/**
+ * Block-parallel Binomial(n, q) demand stream for the serial
+ * bandwidth/stall queue: the queue must consume demand cycle by cycle
+ * (its backlog couples adjacent cycles), but the draws themselves are
+ * independent, so worker threads prefill fixed-size blocks, one
+ * contiguous chunk per persistent worker stream. Deterministic for a
+ * fixed (seed, threads) pair; `threads <= 1` degenerates to drawing
+ * straight off one stream, reproducing the historical sequence
+ * bit-for-bit.
+ */
+class DemandSource
+{
+  public:
+    DemandSource(uint64_t n, double q, uint64_t seed, int threads)
+        : n_(n), q_(q), workers_(resolve_threads(threads))
+    {
+        Rng seeder(seed);
+        if (workers_ <= 1) {
+            streams_.push_back(seeder);
+        } else {
+            streams_.reserve(static_cast<size_t>(workers_));
+            for (int w = 0; w < workers_; ++w) {
+                streams_.emplace_back(seeder.next_u64());
+            }
+        }
+    }
+
+    uint64_t next()
+    {
+        if (workers_ <= 1) {
+            return streams_[0].binomial(n_, q_);
+        }
+        if (pos_ == buffer_.size()) {
+            refill();
+        }
+        return buffer_[pos_++];
+    }
+
+  private:
+    static constexpr size_t kChunk = 4096;  ///< draws per worker per refill
+
+    void refill()
+    {
+        buffer_.resize(kChunk * static_cast<size_t>(workers_));
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(workers_));
+        for (int w = 0; w < workers_; ++w) {
+            pool.emplace_back([this, w]() {
+                uint64_t *out = buffer_.data() + kChunk * w;
+                Rng &rng = streams_[w];
+                for (size_t i = 0; i < kChunk; ++i) {
+                    out[i] = rng.binomial(n_, q_);
+                }
+            });
+        }
+        for (std::thread &t : pool) {
+            t.join();
+        }
+        pos_ = 0;
+    }
+
+    uint64_t n_;
+    double q_;
+    int workers_;
+    std::vector<Rng> streams_;
+    std::vector<uint64_t> buffer_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
 CountHistogram
 fleet_demand_histogram(const FleetConfig &config)
 {
-    Rng rng(config.seed);
-    CountHistogram demand;
-    for (uint64_t cycle = 0; cycle < config.cycles; ++cycle) {
-        demand.add(rng.binomial(static_cast<uint64_t>(config.num_qubits),
-                                config.offchip_prob));
-    }
-    return demand;
+    return run_sharded<CountHistogram>(
+        config.cycles, config.threads, config.seed,
+        [&config](const Shard &shard) {
+            Rng rng(shard.seed);
+            CountHistogram demand;
+            for (uint64_t cycle = 0; cycle < shard.cycles; ++cycle) {
+                demand.add(
+                    rng.binomial(static_cast<uint64_t>(config.num_qubits),
+                                 config.offchip_prob));
+            }
+            return demand;
+        });
 }
 
 CountHistogram
 fleet_demand_exact(int distance, double p, int num_qubits, uint64_t cycles,
-                   uint64_t seed)
+                   uint64_t seed, int threads)
 {
     const RotatedSurfaceCode code(distance);
-    Rng seeder(seed);
-    std::vector<BtwcSystem> qubits;
-    qubits.reserve(static_cast<size_t>(num_qubits));
-    for (int q = 0; q < num_qubits; ++q) {
-        qubits.emplace_back(code, NoiseParams::uniform(p), SystemConfig{},
-                            seeder.next_u64());
-    }
-    CountHistogram demand;
-    for (uint64_t cycle = 0; cycle < cycles; ++cycle) {
-        uint64_t offchip = 0;
-        for (BtwcSystem &qubit : qubits) {
-            offchip += qubit.step().offchip ? 1 : 0;
-        }
-        demand.add(offchip);
-    }
-    return demand;
+    return run_sharded<CountHistogram>(
+        cycles, threads, seed, [&](const Shard &shard) {
+            Rng seeder(shard.seed);
+            std::vector<BtwcSystem> qubits;
+            qubits.reserve(static_cast<size_t>(num_qubits));
+            for (int q = 0; q < num_qubits; ++q) {
+                qubits.emplace_back(code, NoiseParams::uniform(p),
+                                    SystemConfig{}, seeder.next_u64());
+            }
+            CountHistogram demand;
+            for (uint64_t cycle = 0; cycle < shard.cycles; ++cycle) {
+                uint64_t offchip = 0;
+                for (BtwcSystem &qubit : qubits) {
+                    offchip += qubit.step().offchip ? 1 : 0;
+                }
+                demand.add(offchip);
+            }
+            return demand;
+        });
 }
 
 FleetRunResult
 run_fleet_with_bandwidth(const FleetConfig &config, uint64_t bandwidth)
 {
-    Rng rng(config.seed);
+    DemandSource demand(static_cast<uint64_t>(config.num_qubits),
+                        config.offchip_prob, config.seed, config.threads);
     StallController queue(bandwidth);
     // The program needs `config.cycles` cycles of real progress; stall
     // cycles extend the wall clock and keep generating fresh errors.
@@ -55,9 +140,7 @@ run_fleet_with_bandwidth(const FleetConfig &config, uint64_t bandwidth)
     // detect divergence via work_cycles < cycles.
     const uint64_t wall_clock_cap = 25 * config.cycles + 1000;
     while (queue.work_cycles() < config.cycles) {
-        const uint64_t fresh = rng.binomial(
-            static_cast<uint64_t>(config.num_qubits), config.offchip_prob);
-        queue.step(fresh);
+        queue.step(demand.next());
         if (queue.total_cycles() >= wall_clock_cap ||
             queue.backlog() >
                 bandwidth * (config.cycles + queue.total_cycles())) {

@@ -24,6 +24,14 @@ struct FleetConfig
     int num_qubits = 1000;
     uint64_t cycles = 1000000;
     double offchip_prob = 0.01;  ///< per-qubit per-cycle P(complex)
+    /**
+     * Monte-Carlo engine shards (sim/engine.hpp): 1 = historical
+     * single-threaded sampling (bit-exact), 0 = all hardware threads.
+     * Demand histograms shard over cycles; the bandwidth/stall run
+     * keeps its (inherently serial) queue but generates demand blocks
+     * in parallel.
+     */
+    int threads = 1;
     uint64_t seed = 1;
 };
 
@@ -53,10 +61,13 @@ CountHistogram fleet_demand_histogram(const FleetConfig &config);
 
 /**
  * Demand histogram from fully simulated per-qubit pipelines (slow;
- * used for validating the binomial model at small scale).
+ * used for validating the binomial model at small scale). Shards the
+ * cycle budget over `threads` workers, each simulating an independent
+ * fleet instance (threads <= 1 reproduces the historical run).
  */
 CountHistogram fleet_demand_exact(int distance, double p, int num_qubits,
-                                  uint64_t cycles, uint64_t seed);
+                                  uint64_t cycles, uint64_t seed,
+                                  int threads = 1);
 
 /** Run the fleet against a fixed provisioned bandwidth. */
 FleetRunResult run_fleet_with_bandwidth(const FleetConfig &config,

@@ -4,14 +4,54 @@
 
 #include "common/rng.hpp"
 #include "core/clique.hpp"
+#include "sim/engine.hpp"
 #include "surface/frame.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
 
+void
+LifetimeStats::merge(const LifetimeStats &other)
+{
+    cycles += other.cycles;
+    all_zero_cycles += other.all_zero_cycles;
+    trivial_cycles += other.trivial_cycles;
+    complex_cycles += other.complex_cycles;
+    offchip_cycles += other.offchip_cycles;
+    clique_corrections += other.clique_corrections;
+    raw_weight.merge(other.raw_weight);
+    all_zero_halves += other.all_zero_halves;
+    trivial_halves += other.trivial_halves;
+    complex_halves += other.complex_halves;
+    for (size_t t = 0; t < 4; ++t) {
+        tier_halves[t] += other.tier_halves[t];
+    }
+    offchip_halves += other.offchip_halves;
+}
+
 namespace {
 
-/** Closed-loop lifetime run through the full BtwcSystem. */
+/** Classify one half's verdict and tier outcome into the counters. */
+void
+count_half(LifetimeStats &stats, CliqueVerdict verdict, DecoderTier tier,
+           bool offchip)
+{
+    switch (verdict) {
+      case CliqueVerdict::AllZeros:
+        ++stats.all_zero_halves;
+        break;
+      case CliqueVerdict::Trivial:
+        ++stats.trivial_halves;
+        break;
+      case CliqueVerdict::Complex:
+        ++stats.complex_halves;
+        ++stats.tier_halves[static_cast<int>(tier)];
+        stats.offchip_halves += offchip ? 1 : 0;
+        break;
+    }
+}
+
+/** Closed-loop lifetime run through the full BtwcSystem (one shard). */
 LifetimeStats
 run_pipeline(const LifetimeConfig &config)
 {
@@ -19,6 +59,7 @@ run_pipeline(const LifetimeConfig &config)
     SystemConfig sys_config;
     sys_config.filter_rounds = config.filter_rounds;
     sys_config.offchip = config.offchip;
+    sys_config.tiers = config.tiers;
     BtwcSystem system(code,
                       NoiseParams{config.p, config.meas_probability()},
                       sys_config, config.seed);
@@ -38,18 +79,11 @@ run_pipeline(const LifetimeConfig &config)
             ++stats.complex_cycles;
             break;
         }
-        for (const CliqueVerdict verdict : report.type_verdict) {
-            switch (verdict) {
-              case CliqueVerdict::AllZeros:
-                ++stats.all_zero_halves;
-                break;
-              case CliqueVerdict::Trivial:
-                ++stats.trivial_halves;
-                break;
-              case CliqueVerdict::Complex:
-                ++stats.complex_halves;
-                break;
-            }
+        stats.offchip_cycles += report.offchip ? 1 : 0;
+        for (int detector = 0; detector < 2; ++detector) {
+            count_half(stats, report.type_verdict[detector],
+                       report.tier_used[detector],
+                       report.type_offchip[detector]);
         }
         stats.clique_corrections +=
             static_cast<uint64_t>(report.clique_corrections);
@@ -61,7 +95,11 @@ run_pipeline(const LifetimeConfig &config)
 /**
  * Open-loop signature sampling, the paper's §6.1 methodology: each
  * cycle draws fresh errors, measures them over `filter_rounds` noisy
- * rounds, classifies the filtered signature, and resets.
+ * rounds, classifies the filtered signature through the tier chain,
+ * and resets. Off-chip tiers are classified but never run (the frame
+ * resets regardless, so their result cannot affect the sampled
+ * distribution); on-chip mid-tiers really run, which is what
+ * attributes each COMPLEX signature to the tier that absorbs it.
  */
 LifetimeStats
 run_signature(const LifetimeConfig &config)
@@ -73,20 +111,26 @@ run_signature(const LifetimeConfig &config)
 
     struct Half
     {
-        Half(const RotatedSurfaceCode &c, CheckType error_type)
+        Half(const RotatedSurfaceCode &c, CheckType error_type,
+             const TierChainConfig &tiers)
             : frame(c, error_type),
-              clique(c, detector_of_error(error_type))
+              chain(c, detector_of_error(error_type), tiers)
         {
         }
         ErrorFrame frame;
-        CliqueDecoder clique;
+        TierChain chain;
         std::vector<uint8_t> round;
         std::vector<uint8_t> filtered;
     };
-    Half halves[2] = {Half(code, CheckType::X), Half(code, CheckType::Z)};
+    Half halves[2] = {Half(code, CheckType::X, config.tiers),
+                      Half(code, CheckType::Z, config.tiers)};
+
+    TierChain::Options chain_options;
+    chain_options.stop_before_offchip = true;
 
     for (uint64_t cycle = 0; cycle < config.cycles; ++cycle) {
         CliqueVerdict verdict = CliqueVerdict::AllZeros;
+        bool cycle_offchip = false;
         uint64_t raw_weight = 0;
         for (Half &half : halves) {
             half.frame.reset();
@@ -107,25 +151,28 @@ run_signature(const LifetimeConfig &config)
             for (const uint8_t bit : half.round) {
                 raw_weight += bit & 1;
             }
-            const CliqueOutcome out = half.clique.decode(half.filtered);
-            switch (out.verdict) {
-              case CliqueVerdict::AllZeros:
-                ++stats.all_zero_halves;
-                break;
-              case CliqueVerdict::Trivial:
-                ++stats.trivial_halves;
-                break;
-              case CliqueVerdict::Complex:
-                ++stats.complex_halves;
-                break;
+            const TierChain::Result out =
+                half.chain.decode_syndrome(half.filtered, chain_options);
+            CliqueVerdict half_verdict;
+            if (out.decode.defects == 0) {
+                half_verdict = CliqueVerdict::AllZeros;
+            } else if (out.tier_index == 0 && out.resolved) {
+                half_verdict = CliqueVerdict::Trivial;
+            } else {
+                half_verdict = CliqueVerdict::Complex;
             }
-            if (out.verdict == CliqueVerdict::Complex) {
+            count_half(stats, half_verdict, out.tier, out.offchip);
+            if (half_verdict == CliqueVerdict::Complex) {
                 verdict = CliqueVerdict::Complex;
-            } else if (out.verdict == CliqueVerdict::Trivial &&
+            } else if (half_verdict == CliqueVerdict::Trivial &&
                        verdict == CliqueVerdict::AllZeros) {
                 verdict = CliqueVerdict::Trivial;
             }
-            stats.clique_corrections += out.corrections.size();
+            cycle_offchip |= out.offchip;
+            if (half_verdict == CliqueVerdict::Trivial) {
+                stats.clique_corrections +=
+                    static_cast<uint64_t>(out.decode.weight);
+            }
         }
         switch (verdict) {
           case CliqueVerdict::AllZeros:
@@ -138,6 +185,7 @@ run_signature(const LifetimeConfig &config)
             ++stats.complex_cycles;
             break;
         }
+        stats.offchip_cycles += cycle_offchip ? 1 : 0;
         stats.raw_weight.add(raw_weight);
     }
     return stats;
@@ -148,8 +196,17 @@ run_signature(const LifetimeConfig &config)
 LifetimeStats
 run_lifetime(const LifetimeConfig &config)
 {
-    return config.mode == LifetimeMode::Pipeline ? run_pipeline(config)
-                                                 : run_signature(config);
+    return run_sharded<LifetimeStats>(
+        config.cycles, config.threads, config.seed,
+        [&config](const Shard &shard) {
+            LifetimeConfig shard_config = config;
+            shard_config.cycles = shard.cycles;
+            shard_config.seed = shard.seed;
+            shard_config.threads = 1;
+            return shard_config.mode == LifetimeMode::Pipeline
+                       ? run_pipeline(shard_config)
+                       : run_signature(shard_config);
+        });
 }
 
 int

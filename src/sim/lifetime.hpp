@@ -37,6 +37,21 @@ struct LifetimeConfig
     int filter_rounds = 2;
     LifetimeMode mode = LifetimeMode::Signature;
     OffchipPolicy offchip = OffchipPolicy::Oracle;  ///< Pipeline mode only
+    /**
+     * The decode hierarchy (cf. SystemConfig::tiers); the default is
+     * the paper's two-tier Clique -> MWPM chain, and e.g.
+     * TierChainConfig::deep() inserts the §8.1 Union-Find mid-tier.
+     * In Signature mode off-chip tiers are classified but never run
+     * (their result cannot affect the sampled distribution), so deep
+     * chains stay cheap even at the d = 81 operating points.
+     */
+    TierChainConfig tiers = TierChainConfig::legacy();
+    /**
+     * Worker shards for the Monte-Carlo engine (sim/engine.hpp): 1 =
+     * historical single-threaded run (bit-exact), 0 = all hardware
+     * threads, N = exactly N shards with independent RNG streams.
+     */
+    int threads = 1;
     uint64_t seed = 1;
 
     /** Effective measurement flip probability. */
@@ -48,8 +63,9 @@ struct LifetimeStats
 {
     uint64_t cycles = 0;
     uint64_t all_zero_cycles = 0;  ///< filtered signature all zeros
-    uint64_t trivial_cycles = 0;   ///< nonzero, fully handled on-chip
-    uint64_t complex_cycles = 0;   ///< at least one COMPLEX flag
+    uint64_t trivial_cycles = 0;   ///< nonzero, fully handled by tier 0
+    uint64_t complex_cycles = 0;   ///< at least one tier-0 escalation
+    uint64_t offchip_cycles = 0;   ///< at least one off-chip tier consulted
     uint64_t clique_corrections = 0;
     CountHistogram raw_weight;     ///< per-cycle fired raw bits (AFS input)
 
@@ -63,9 +79,25 @@ struct LifetimeStats
      */
     uint64_t all_zero_halves = 0;
     uint64_t trivial_halves = 0;
-    uint64_t complex_halves = 0;
+    uint64_t complex_halves = 0;  ///< escalated past tier 0
 
-    /** Fraction of decodes handled without going off-chip (Fig. 11). */
+    /**
+     * Of the half-decodes that escalated past tier 0, how many were
+     * absorbed by each tier of the chain (indexed by DecoderTier).
+     * With the legacy chain everything lands on Mwpm; with a §8.1
+     * mid-tier most COMPLEX signatures stay on-chip in UnionFind.
+     */
+    uint64_t tier_halves[4] = {0, 0, 0, 0};
+    uint64_t offchip_halves = 0;  ///< escalations that left the chip
+
+    /**
+     * Fold the statistics of another (independently sampled) run into
+     * this one -- the reduction step of the sharded Monte-Carlo engine
+     * (sim/engine.hpp). Exact: every counter is a sum.
+     */
+    void merge(const LifetimeStats &other);
+
+    /** Fraction of cycles fully handled by tier 0 (Fig. 11). */
     double coverage() const
     {
         return cycles == 0
@@ -78,7 +110,7 @@ struct LifetimeStats
     double offchip_fraction() const
     {
         return cycles == 0 ? 0.0
-                           : static_cast<double>(complex_cycles) /
+                           : static_cast<double>(offchip_cycles) /
                                  static_cast<double>(cycles);
     }
 
@@ -88,13 +120,25 @@ struct LifetimeStats
         return all_zero_halves + trivial_halves + complex_halves;
     }
 
-    /** Fraction of *decodes* handled on-chip (Fig. 11). */
+    /** Fraction of *decodes* handled by tier 0 (Fig. 11). */
     double coverage_per_decode() const
     {
         const uint64_t total = total_halves();
         return total == 0 ? 0.0
                           : 1.0 - static_cast<double>(complex_halves) /
                                       static_cast<double>(total);
+    }
+
+    /**
+     * Fraction of tier-0 escalations absorbed by on-chip mid-tiers
+     * (the §8.1 payoff; 0 for the legacy two-tier chain).
+     */
+    double midtier_absorption() const
+    {
+        return complex_halves == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(offchip_halves) /
+                               static_cast<double>(complex_halves);
     }
 
     /**
@@ -110,21 +154,26 @@ struct LifetimeStats
     }
 
     /**
-     * Average off-chip data reduction achieved by Clique: the raw
-     * half-syndrome stream divided by what actually ships (complex
-     * halves only) -- Fig. 13's Clique series.
+     * Average off-chip data reduction achieved by the on-chip tiers:
+     * the raw half-syndrome stream divided by what actually ships
+     * (off-chip halves only) -- Fig. 13's Clique series.
      */
     double clique_data_reduction() const
     {
-        if (complex_halves == 0) {
+        if (offchip_halves == 0) {
             return static_cast<double>(total_halves());  // saturated
         }
         return static_cast<double>(total_halves()) /
-               static_cast<double>(complex_halves);
+               static_cast<double>(offchip_halves);
     }
 };
 
-/** Run the single-logical-qubit lifetime simulation. */
+/**
+ * Run the single-logical-qubit lifetime simulation, sharded over
+ * `config.threads` workers (sim/engine.hpp). Shard cycle counts sum
+ * to `config.cycles` exactly; `threads == 1` reproduces the
+ * historical single-threaded results bit-for-bit.
+ */
 LifetimeStats run_lifetime(const LifetimeConfig &config);
 
 /**

@@ -22,7 +22,7 @@ namespace btwc {
 namespace {
 
 std::vector<uint8_t>
-perfect_syndrome(const RotatedSurfaceCode &code, const ErrorFrame &frame)
+perfect_syndrome(const RotatedSurfaceCode & /*code*/, const ErrorFrame &frame)
 {
     std::vector<uint8_t> syndrome;
     frame.measure_perfect(syndrome);

@@ -20,7 +20,7 @@ namespace btwc {
 namespace {
 
 std::vector<uint8_t>
-syndrome_of(const RotatedSurfaceCode &code, const ErrorFrame &frame)
+syndrome_of(const RotatedSurfaceCode & /*code*/, const ErrorFrame &frame)
 {
     std::vector<uint8_t> syndrome;
     frame.measure_perfect(syndrome);

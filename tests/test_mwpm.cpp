@@ -22,7 +22,7 @@ namespace {
 
 /** Apply a correction mask and check syndrome + logical outcome. */
 void
-expect_corrects(const RotatedSurfaceCode &code, ErrorFrame &frame,
+expect_corrects(const RotatedSurfaceCode & /*code*/, ErrorFrame &frame,
                 const MwpmDecoder::Result &fix, bool expect_no_logical)
 {
     frame.apply_mask(fix.correction);
