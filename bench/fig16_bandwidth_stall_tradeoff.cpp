@@ -8,6 +8,13 @@
  * stalls forever; backing off modestly (e.g. accepting a 10% runtime
  * increase) still yields order-of-magnitude bandwidth reductions, with
  * the exact curve shape depending on (p, d).
+ *
+ * The off-chip link runs through the async decode service
+ * (core/offchip_queue.hpp): `--offchip-latency N` adds N cycles of
+ * decode round-trip latency (shifting the enqueue-to-landing delay
+ * columns without changing the stall curve -- latency is pipelined,
+ * only backlog stalls), and `--batch N` caps the decode_batch group
+ * size the served stream is sliced into.
  */
 
 #include <cstdio>
@@ -29,6 +36,7 @@ main(int argc, char **argv)
     const uint64_t measure_cycles = bench_cycles(flags, 20000, 1000000);
     const uint64_t fleet_cycles = static_cast<uint64_t>(
         flags.get_int("fleet_cycles", 200000));
+    const OffchipServiceFlags offchip = offchip_from_flags(flags);
 
     struct OperatingPoint
     {
@@ -57,6 +65,8 @@ main(int argc, char **argv)
         fleet.cycles = fleet_cycles;
         fleet.threads = threads;
         fleet.seed = seed;
+        fleet.offchip_latency = offchip.latency;
+        fleet.offchip_batch = offchip.batch;
 
         FleetConfig demand_config = fleet;
         demand_config.cycles = 100000;
@@ -69,7 +79,8 @@ main(int argc, char **argv)
                     point.p, point.distance, Table::sci(q, 2).c_str(),
                     demand.mean());
         Table table({"bandwidth", "reduction_x", "stall_cycles",
-                     "exec_increase_%"});
+                     "exec_increase_%", "mean_qdelay", "p99_qdelay",
+                     "mean_link_batch"});
         std::vector<uint64_t> sweep;
         for (const double percentile :
              {0.5, 0.9, 0.99, 0.999, 0.9999, 1.0}) {
@@ -91,7 +102,10 @@ main(int argc, char **argv)
                  Table::num(run.bandwidth_reduction, 1),
                  std::to_string(run.stall_cycles),
                  diverged ? "diverges (infinite stalling)"
-                          : Table::num(100.0 * run.exec_time_increase, 2)});
+                          : Table::num(100.0 * run.exec_time_increase, 2),
+                 Table::num(run.mean_queue_delay, 2),
+                 std::to_string(run.p99_queue_delay),
+                 Table::num(run.mean_batch, 1)});
         }
         if (flags.get_bool("csv")) {
             std::fputs(table.to_csv().c_str(), stdout);

@@ -173,6 +173,51 @@ BM_TierChainDeepDecode(benchmark::State &state)
 BENCHMARK(BM_TierChainDeepDecode)->Arg(5)->Arg(9)->Arg(21);
 
 void
+BM_MwpmDecodeBatch(benchmark::State &state)
+{
+    // Batched off-chip decoding (the async service's drain path):
+    // decode_batch reuses one graph scratch across the batch, vs the
+    // per-call setup of looping decode (BM_MwpmDecodeLoop).
+    const int d = 21;
+    const RotatedSurfaceCode code(d);
+    const MwpmDecoder mwpm(code, CheckType::Z);
+    Rng rng(9);
+    std::vector<std::vector<DetectionEvent>> batch;
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+        batch.push_back(
+            events_from_syndrome(sample_syndrome(code, d / 2, rng)));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mwpm.decode_batch(batch, 1));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MwpmDecodeBatch)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_MwpmDecodeLoop(benchmark::State &state)
+{
+    // Baseline for BM_MwpmDecodeBatch: same inputs, one decode call
+    // (and one scratch allocation) per item.
+    const int d = 21;
+    const RotatedSurfaceCode code(d);
+    const MwpmDecoder mwpm(code, CheckType::Z);
+    Rng rng(9);
+    std::vector<std::vector<DetectionEvent>> batch;
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+        batch.push_back(
+            events_from_syndrome(sample_syndrome(code, d / 2, rng)));
+    }
+    for (auto _ : state) {
+        for (const auto &events : batch) {
+            benchmark::DoNotOptimize(mwpm.decode(events, 1));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MwpmDecodeLoop)->Arg(4)->Arg(16)->Arg(64);
+
+void
 BM_ExactDecodeSyndrome(benchmark::State &state)
 {
     // The subset-DP matching oracle on sparse syndromes (the

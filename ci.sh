@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify with warnings promoted to errors, plus
-# a Release-mode smoke run of the quickstart example.
+# CI entry point: tier-1 verify with warnings promoted to errors, a
+# Release (-DNDEBUG) ctest leg so assert-stripped builds run the full
+# suite (runtime-counted invariants like
+# MemoryResult::unclear_syndromes are exercised where asserts are
+# gone), plus Release-mode smoke runs of the examples.
 #
-#   ./ci.sh            # full verify + smoke
+#   ./ci.sh            # full verify + Release suite + smoke
 #   ./ci.sh --verify   # tier-1 verify only
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -21,13 +24,23 @@ if [[ "${1:-}" == "--verify" ]]; then
 fi
 
 echo
-echo "== Release smoke: examples/quickstart =="
+echo "== Release (-DNDEBUG) ctest =="
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-release -j "${JOBS}" --target quickstart sweep_explorer
+cmake --build build-release -j "${JOBS}"
+ctest --test-dir build-release --output-on-failure --no-tests=error \
+      -j "${JOBS}"
+
+echo
+echo "== Release smoke: examples/quickstart =="
 ./build-release/quickstart --distance 5 --p 0.003 --cycles 2000
 echo
 echo "== Release smoke: three-tier sharded lifetime =="
 ./build-release/sweep_explorer lifetime --distance 9 --p 0.005 \
     --cycles 20000 --tiers clique,uf,mwpm --threads 0
+echo
+echo "== Release smoke: async off-chip pipeline =="
+./build-release/sweep_explorer lifetime --pipeline --real_offchip \
+    --distance 7 --p 0.008 --cycles 20000 \
+    --offchip-latency 4 --offchip-bandwidth 1 --batch 8
 echo
 echo "CI OK"

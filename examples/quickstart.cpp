@@ -10,6 +10,7 @@
  * `BtwcSystem`.
  *
  *     ./quickstart [--distance 5] [--p 0.003] [--cycles 2000]
+ *                  [--offchip-latency 0] [--offchip-bandwidth 0]
  */
 
 #include <cstdio>
@@ -98,8 +99,16 @@ main(int argc, char **argv)
                 chain_frame.syndrome_clear() ? "yes" : "no");
 
     // --- 4. The full pipeline under phenomenological noise. ---
+    // Escalations ride the async off-chip service: with the default
+    // zero-latency unlimited-bandwidth link this is exactly the
+    // synchronous model; --offchip-latency / --offchip-bandwidth make
+    // corrections land cycles late over a narrow link.
+    const OffchipServiceFlags offchip = offchip_from_flags(flags);
     SystemConfig config;
     config.offchip = OffchipPolicy::Mwpm;
+    config.offchip_latency = offchip.latency;
+    config.offchip_bandwidth = offchip.bandwidth;
+    config.offchip_batch = offchip.batch;
     BtwcSystem system(code, NoiseParams::uniform(p), config, 42);
     int zeros = 0;
     int trivial = 0;
@@ -125,5 +134,15 @@ main(int argc, char **argv)
     std::printf("=> off-chip bandwidth eliminated: %.2f%%\n",
                 100.0 * (1.0 - static_cast<double>(complex_cycles) /
                                    cycles));
+    const OffchipQueue &queue = system.offchip_queue();
+    std::printf("=> off-chip service: %llu decodes landed, mean "
+                "enqueue-to-landing delay %.2f cycles (latency %llu, "
+                "bandwidth %s)\n",
+                static_cast<unsigned long long>(queue.landed()),
+                queue.delay_histogram().mean(),
+                static_cast<unsigned long long>(offchip.latency),
+                offchip.bandwidth == 0
+                    ? "unlimited"
+                    : std::to_string(offchip.bandwidth).c_str());
     return 0;
 }

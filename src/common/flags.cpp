@@ -1,7 +1,10 @@
 #include "common/flags.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
+
+#include "decoders/tier_chain.hpp"
 
 namespace btwc {
 
@@ -109,6 +112,41 @@ threads_from_flags(const Flags &flags, int def)
 {
     const int64_t raw = flags.get_int("threads", def);
     return raw < 0 ? 0 : static_cast<int>(raw);
+}
+
+TierChainConfig
+tiers_from_flags(const Flags &flags, const std::string &def,
+                 int uf_threshold)
+{
+    TierChainConfig config;
+    std::string error;
+    if (!TierChainConfig::try_parse(flags.get("tiers", def), uf_threshold,
+                                    &config, &error)) {
+        std::fprintf(stderr, "--tiers: %s\n", error.c_str());
+        std::exit(2);
+    }
+    return config;
+}
+
+namespace {
+
+uint64_t
+non_negative(const Flags &flags, const std::string &name)
+{
+    const int64_t raw = flags.get_int(name, 0);
+    return raw < 0 ? 0 : static_cast<uint64_t>(raw);
+}
+
+} // namespace
+
+OffchipServiceFlags
+offchip_from_flags(const Flags &flags)
+{
+    OffchipServiceFlags offchip;
+    offchip.latency = non_negative(flags, "offchip-latency");
+    offchip.bandwidth = non_negative(flags, "offchip-bandwidth");
+    offchip.batch = non_negative(flags, "batch");
+    return offchip;
 }
 
 } // namespace btwc

@@ -7,6 +7,8 @@
 
 namespace btwc {
 
+struct TierChainConfig;
+
 /**
  * Minimal command line flag parser for bench and example binaries.
  *
@@ -59,5 +61,36 @@ class Flags
  * to 0 (= auto).
  */
 int threads_from_flags(const Flags &flags, int def = 1);
+
+/**
+ * Shared `--tiers` convention: parse the flag's tier-chain spec via
+ * `TierChainConfig::try_parse` and, on a malformed spec, print the
+ * diagnostic to stderr and exit(2). This is the *only* place the CLI
+ * exit-on-parse-error contract lives; the library parser itself
+ * reports errors to the caller (status/throw) and never terminates
+ * the process.
+ */
+TierChainConfig tiers_from_flags(const Flags &flags,
+                                 const std::string &def = "clique,mwpm",
+                                 int uf_threshold = 2);
+
+/**
+ * Shared off-chip service flags for bench and example binaries
+ * (cf. core/offchip_queue.hpp):
+ *
+ *   --offchip-latency N    decode round-trip latency in cycles
+ *   --offchip-bandwidth N  served decodes per cycle (0 = unlimited)
+ *   --batch N              decode_batch grouping cap (0 = per cycle)
+ *
+ * All default to 0, the synchronous model. Negative values clamp to 0.
+ */
+struct OffchipServiceFlags
+{
+    uint64_t latency = 0;
+    uint64_t bandwidth = 0;
+    uint64_t batch = 0;
+};
+
+OffchipServiceFlags offchip_from_flags(const Flags &flags);
 
 } // namespace btwc

@@ -1,0 +1,79 @@
+#include "core/offchip_queue.hpp"
+
+namespace btwc {
+
+OffchipQueue::OffchipQueue(OffchipQueueConfig config) : config_(config) {}
+
+OffchipQueue::StepResult
+OffchipQueue::step(uint64_t new_requests)
+{
+    // Stall accounting mirrors StallController: a cycle stalls when
+    // the *previous* cycle ended with unserved backlog.
+    const bool was_stall = stall_next_;
+    ++total_cycles_;
+    if (was_stall) {
+        ++stall_cycles_;
+    } else {
+        ++work_cycles_;
+    }
+
+    if (new_requests > 0) {
+        waiting_.push_back(Group{cycle_, new_requests, 0});
+        backlog_ += new_requests;
+        enqueued_ += new_requests;
+    }
+
+    // Serve up to `bandwidth` requests FIFO; 0 means unlimited, the
+    // synchronous model's implicit assumption.
+    StepResult out;
+    const uint64_t capacity =
+        config_.bandwidth == 0 ? backlog_ : config_.bandwidth;
+    uint64_t to_serve = backlog_ < capacity ? backlog_ : capacity;
+    out.served = to_serve;
+    const uint64_t land_cycle = cycle_ + config_.latency;
+    while (to_serve > 0) {
+        Group &group = waiting_.front();
+        const uint64_t take =
+            group.count < to_serve ? group.count : to_serve;
+        const uint64_t delay = land_cycle - group.cycle;
+        in_service_.push_back(Group{
+            land_cycle, take,
+            delay < kMaxRecordedDelay ? delay : kMaxRecordedDelay});
+        group.count -= take;
+        backlog_ -= take;
+        to_serve -= take;
+        if (group.count == 0) {
+            waiting_.pop_front();
+        }
+    }
+    if (out.served > 0) {
+        served_ += out.served;
+        in_flight_ += out.served;
+        const uint64_t cap =
+            config_.max_batch == 0 ? out.served : config_.max_batch;
+        for (uint64_t left = out.served; left > 0;) {
+            const uint64_t batch = left < cap ? left : cap;
+            batch_.add(batch);
+            left -= batch;
+        }
+    }
+
+    // Land every in-flight result whose latency elapsed; land cycles
+    // are monotone (service cycles advance, latency is fixed), so
+    // only the front of the FIFO can be due. The delay histogram is
+    // populated here, at landing: its total() is the landed count.
+    while (!in_service_.empty() && in_service_.front().cycle <= cycle_) {
+        out.landed += in_service_.front().count;
+        delay_.add(in_service_.front().delay, in_service_.front().count);
+        in_service_.pop_front();
+    }
+    in_flight_ -= out.landed;
+    landed_ += out.landed;
+
+    stall_next_ = backlog_ > 0;
+    max_backlog_ = backlog_ > max_backlog_ ? backlog_ : max_backlog_;
+    ++cycle_;
+    return out;
+}
+
+} // namespace btwc

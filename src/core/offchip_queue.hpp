@@ -1,0 +1,205 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/stall.hpp"
+
+namespace btwc {
+
+/** Service parameters of the off-chip decode link (§5.2). */
+struct OffchipQueueConfig
+{
+    /**
+     * Decode requests entering service per cycle (the provisioned link
+     * width of Fig. 16). 0 = unlimited: every queued request is served
+     * the cycle it arrives, the implicit assumption of the synchronous
+     * model.
+     */
+    uint64_t bandwidth = 0;
+    /**
+     * Cycles between a request entering service and its correction
+     * landing back on-chip (decode compute + down-link). 0 reproduces
+     * the synchronous model: corrections land in the cycle that
+     * produced the request.
+     */
+    uint64_t latency = 0;
+    /**
+     * Largest group of same-cycle served requests handed to one
+     * `Decoder::decode_batch` call (graph-setup amortization
+     * granularity). 0 = one batch per serve cycle. Only affects the
+     * batch-size accounting and how callers group decodes; scheduling
+     * is independent of it.
+     */
+    uint64_t max_batch = 0;
+};
+
+/**
+ * Asynchronous off-chip decode service: a latency-L, bandwidth-B FIFO
+ * queue (§5.2 of the paper, generalizing `StallController`).
+ *
+ * Each cycle, up to `bandwidth` queued requests enter service and
+ * their results land `latency` cycles later; excess demand carries
+ * over as backlog, and a cycle that ends with backlog forces the next
+ * cycle to stall exactly like `StallController` (with `latency == 0`
+ * the two are step-for-step identical — tested). On top of the stall
+ * accounting the queue tracks the end-to-end queueing delay of every
+ * request (enqueue to landing) and the size of every served batch,
+ * the two observables the synchronous model cannot express.
+ *
+ * This class only counts requests; callers that need to carry decode
+ * payloads (e.g. `BtwcSystem`) keep them in parallel FIFOs and use the
+ * returned `StepResult` to know how many entries to move per cycle.
+ */
+class OffchipQueue
+{
+  public:
+    /** What the service did in one cycle. */
+    struct StepResult
+    {
+        uint64_t served = 0;  ///< requests that entered service
+        uint64_t landed = 0;  ///< corrections that landed on-chip
+    };
+
+    explicit OffchipQueue(OffchipQueueConfig config = OffchipQueueConfig());
+
+    /**
+     * Advance one cycle with `new_requests` fresh escalations: enqueue
+     * them, serve up to `bandwidth` queued requests (FIFO), and land
+     * every in-flight result whose latency has elapsed.
+     */
+    StepResult step(uint64_t new_requests);
+
+    /** Active configuration. */
+    const OffchipQueueConfig &config() const { return config_; }
+
+    /** Cycles elapsed. */
+    uint64_t total_cycles() const { return total_cycles_; }
+
+    /** Cycles that made program progress. */
+    uint64_t work_cycles() const { return work_cycles_; }
+
+    /** Cycles spent stalled (previous cycle ended with backlog). */
+    uint64_t stall_cycles() const { return stall_cycles_; }
+
+    /** Whether the *upcoming* cycle is a stall. */
+    bool stall_pending() const { return stall_next_; }
+
+    /** Requests queued but not yet in service. */
+    uint64_t backlog() const { return backlog_; }
+
+    /** Largest backlog ever observed. */
+    uint64_t max_backlog() const { return max_backlog_; }
+
+    /** Requests in service whose correction has not landed yet. */
+    uint64_t in_flight() const { return in_flight_; }
+
+    /** Total requests ever enqueued. */
+    uint64_t enqueued() const { return enqueued_; }
+
+    /** Total requests that entered service. */
+    uint64_t served() const { return served_; }
+
+    /** Total corrections landed. */
+    uint64_t landed() const { return landed_; }
+
+    /**
+     * Relative execution-time increase caused by stalling (Fig. 16
+     * x-axis); +inf for an all-stall run (see
+     * `stall_execution_time_increase`).
+     */
+    double execution_time_increase() const
+    {
+        return stall_execution_time_increase(stall_cycles_, work_cycles_);
+    }
+
+    /**
+     * Recorded delays saturate here: the histogram's dense count
+     * array is sized by the largest value, and a saturated queue's
+     * FIFO wait grows with run length (a diverging Fig. 16 point
+     * would otherwise allocate run-length-sized arrays -- and a typo
+     * latency, gigabytes). Any delay at the cap means "effectively
+     * unbounded".
+     */
+    static constexpr uint64_t kMaxRecordedDelay = 1 << 16;
+
+    /**
+     * End-to-end delay of every landed correction in cycles (enqueue
+     * to landing: queueing wait plus service latency), saturated at
+     * `kMaxRecordedDelay`. All-zero with the synchronous
+     * `latency == 0`, `bandwidth == 0` configuration.
+     */
+    const CountHistogram &delay_histogram() const { return delay_; }
+
+    /**
+     * Size of every served per-cycle group, sliced at
+     * `OffchipQueueConfig::max_batch`: the granularity a decoder
+     * serving this link amortizes `decode_batch` setup over. This is
+     * a *link-level* statistic -- a single `BtwcSystem`'s own decode
+     * batches are additionally bounded by its
+     * one-outstanding-request-per-half contract (see system.hpp).
+     */
+    const CountHistogram &batch_histogram() const { return batch_; }
+
+  private:
+    /** A run of requests enqueued (or landing) in the same cycle. */
+    struct Group
+    {
+        uint64_t cycle = 0;  ///< enqueue cycle (waiting) / land cycle
+        uint64_t count = 0;
+        /**
+         * In-service groups only: the (saturated) enqueue-to-landing
+         * delay, carried so the delay histogram is populated when the
+         * correction actually lands (its total() is the landed
+         * count), not when service starts.
+         */
+        uint64_t delay = 0;
+    };
+
+    /**
+     * Vector-backed FIFO of Groups: consumed entries advance `head`
+     * and the dead prefix is compacted once it dominates the buffer.
+     * (A std::deque would fit, but its move constructor is not
+     * noexcept in libstdc++, which would silently turn
+     * vector<BtwcSystem>::reserve into a copy -- and BtwcSystem is
+     * move-only.)
+     */
+    struct GroupFifo
+    {
+        std::vector<Group> items;
+        size_t head = 0;
+
+        bool empty() const { return head == items.size(); }
+        Group &front() { return items[head]; }
+        void push_back(Group group) { items.push_back(group); }
+        void pop_front()
+        {
+            ++head;
+            if (head > 64 && head * 2 > items.size()) {
+                items.erase(items.begin(),
+                            items.begin() + static_cast<long>(head));
+                head = 0;
+            }
+        }
+    };
+
+    OffchipQueueConfig config_;
+    uint64_t cycle_ = 0;
+    GroupFifo waiting_;     ///< enqueued, not yet in service
+    GroupFifo in_service_;  ///< serving, keyed by land cycle
+    uint64_t backlog_ = 0;
+    uint64_t in_flight_ = 0;
+    uint64_t enqueued_ = 0;
+    uint64_t served_ = 0;
+    uint64_t landed_ = 0;
+    uint64_t max_backlog_ = 0;
+    uint64_t total_cycles_ = 0;
+    uint64_t work_cycles_ = 0;
+    uint64_t stall_cycles_ = 0;
+    bool stall_next_ = false;
+    CountHistogram delay_;
+    CountHistogram batch_;
+};
+
+} // namespace btwc

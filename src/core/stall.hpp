@@ -1,8 +1,27 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 namespace btwc {
+
+/**
+ * Relative execution-time increase of a stalled run: stall cycles per
+ * work cycle (the paper's Fig. 16 x-axis). An all-stall run — stalls
+ * recorded but zero work cycles — is an infinite slowdown, not a free
+ * one, so it saturates to +inf instead of reading as 0.
+ */
+inline double
+stall_execution_time_increase(uint64_t stall_cycles, uint64_t work_cycles)
+{
+    if (work_cycles == 0) {
+        return stall_cycles == 0
+                   ? 0.0
+                   : std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(stall_cycles) /
+           static_cast<double>(work_cycles);
+}
 
 /**
  * Decode-overflow execution stalling (§5.2 of the paper).
@@ -74,15 +93,12 @@ class StallController
 
     /**
      * Relative execution-time increase caused by stalling:
-     * stall_cycles / work_cycles (the paper's Fig. 16 x-axis).
+     * stall_cycles / work_cycles (the paper's Fig. 16 x-axis); +inf
+     * for an all-stall run (see `stall_execution_time_increase`).
      */
     double execution_time_increase() const
     {
-        if (work_cycles_ == 0) {
-            return 0.0;
-        }
-        return static_cast<double>(stall_cycles_) /
-               static_cast<double>(work_cycles_);
+        return stall_execution_time_increase(stall_cycles_, work_cycles_);
     }
 
   private:

@@ -2,9 +2,24 @@
 
 namespace btwc {
 
+CliqueVerdict
+classify_decode(const TierChain::Result &outcome)
+{
+    if (outcome.decode.defects == 0) {
+        return CliqueVerdict::AllZeros;
+    }
+    if (outcome.tier_index == 0 && outcome.resolved) {
+        return CliqueVerdict::Trivial;
+    }
+    return CliqueVerdict::Complex;
+}
+
 BtwcSystem::BtwcSystem(const RotatedSurfaceCode &code, NoiseParams noise,
                        SystemConfig config, uint64_t seed)
-    : code_(code), noise_(noise), config_(std::move(config)), rng_(seed)
+    : code_(code), noise_(noise), config_(std::move(config)), rng_(seed),
+      queue_(OffchipQueueConfig{config_.offchip_bandwidth,
+                                config_.offchip_latency,
+                                config_.offchip_batch})
 {
     const CheckType error_types[2] = {CheckType::X, CheckType::Z};
     for (const CheckType err : error_types) {
@@ -18,14 +33,17 @@ BtwcSystem::step()
 {
     CycleReport report;
     const int num_types = config_.track_both_types ? 2 : 1;
+    const bool queued = config_.service == OffchipService::Queued;
 
-    // Under the Oracle policy off-chip tiers never actually run: the
-    // chain stops in front of them and the true error state is cleared
-    // instead. On-chip tiers (Clique, a configured Union-Find
-    // mid-tier) always run for real.
+    // Off-chip tiers never run inside phase 1: under the Queued
+    // service their input is enqueued and decoded when served, and
+    // under the Inline Oracle policy the true error state is cleared
+    // instead. Only the Inline Mwpm policy decodes off-chip tiers
+    // synchronously here. On-chip tiers (Clique, a configured
+    // Union-Find mid-tier) always run for real.
     TierChain::Options chain_options;
     chain_options.stop_before_offchip =
-        config_.offchip == OffchipPolicy::Oracle;
+        queued || config_.offchip == OffchipPolicy::Oracle;
 
     // Phase 1: noise injection + noisy measurement + filtering + tier
     // chain classification for each half.
@@ -41,20 +59,8 @@ BtwcSystem::step()
         const std::vector<uint8_t> &filtered = half.filter.push(half.raw);
         outcomes[t] = half.chain.decode_syndrome(filtered, chain_options);
 
-        // Tier-0 classification, the Clique-verdict contract of the
-        // paper: nothing fired / resolved locally / escalated. It is
-        // identical for every chain sharing the same tier 0, deeper
-        // tiers only change who pays for the COMPLEX signatures.
-        CliqueVerdict verdict;
-        if (outcomes[t].decode.defects == 0) {
-            verdict = CliqueVerdict::AllZeros;
-        } else if (outcomes[t].tier_index == 0 && outcomes[t].resolved) {
-            verdict = CliqueVerdict::Trivial;
-        } else {
-            verdict = CliqueVerdict::Complex;
-        }
         const int detector = static_cast<int>(frame.detector());
-        report.type_verdict[detector] = verdict;
+        report.type_verdict[detector] = classify_decode(outcomes[t]);
         report.tier_used[detector] = outcomes[t].tier;
         report.type_offchip[detector] = outcomes[t].offchip;
     }
@@ -74,9 +80,12 @@ BtwcSystem::step()
         report.offchip |= outcomes[t].offchip;
     }
 
-    // Phase 2: apply corrections. Halves resolved by an on-chip tier
-    // (or by a real off-chip decode) apply that tier's correction;
-    // oracle-substituted halves clear the true error state.
+    // Phase 2: apply on-chip corrections and hand escalations to the
+    // off-chip transport. Halves resolved by an on-chip tier (or by a
+    // synchronous Inline off-chip decode) apply that tier's
+    // correction; escalated halves either enqueue (Queued) or resolve
+    // immediately (Inline: oracle reset).
+    uint64_t fresh = 0;
     for (int t = 0; t < num_types; ++t) {
         ErrorFrame &frame = frames_[t];
         TierChain::Result &outcome = outcomes[t];
@@ -84,6 +93,20 @@ BtwcSystem::step()
             continue;
         }
         if (outcome.resolved) {
+            if (queued && half_busy_[t]) {
+                // The half's off-chip request is still in flight, and
+                // its signature is folded into this cycle's (the
+                // escalated errors are still on the lattice). Applying
+                // an on-chip correction now would make the landing
+                // correction stale -- it would XOR already-fixed
+                // errors back on. Defer: between enqueue and landing
+                // the only frame changes are fresh noise, so the
+                // landing removes exactly the escalation-time
+                // component and the residual re-decodes normally.
+                ++suppressed_;
+                ++report.suppressed;
+                continue;
+            }
             frame.apply_mask(outcome.decode.correction);
             if (outcome.tier_index == 0) {
                 // Clique emits each corrected qubit once, so the
@@ -91,8 +114,31 @@ BtwcSystem::step()
                 report.clique_corrections +=
                     static_cast<int>(outcome.decode.weight);
             }
-        } else if (chain_options.stop_before_offchip && outcome.offchip) {
-            frame.reset();  // oracle stands in for the off-chip tier
+        } else if (outcome.offchip && !queued) {
+            if (chain_options.stop_before_offchip) {
+                frame.reset();  // oracle stands in for the off-chip tier
+            }
+            // Inline Mwpm with a declining off-chip tier: fall through
+            // to the persist-and-re-escalate comment below.
+        } else if (outcome.offchip) {
+            if (half_busy_[t]) {
+                // Reconciliation: the half's previous request is
+                // still in flight; this signature is absorbed into
+                // the residual that re-escalates after the landing.
+                ++suppressed_;
+                ++report.suppressed;
+            } else {
+                PendingDecode request;
+                request.half = t;
+                request.tier_index = outcome.tier_index;
+                request.payload = config_.offchip == OffchipPolicy::Oracle
+                                      ? frame.error()
+                                      : halves_[t].filter.filtered();
+                waiting_.push_back(std::move(request));
+                half_busy_[t] = true;
+                ++fresh;
+                ++report.queued;
+            }
         }
         // Otherwise the chain's final tier declined (a degenerate
         // chain with no resolver for this signature, e.g. Clique
@@ -100,8 +146,90 @@ BtwcSystem::step()
         // no silent oracle fix under a real-decode policy.
     }
 
+    // Phase 3: advance the off-chip service one cycle -- serve queued
+    // escalations (batched per decoder) and apply every correction
+    // whose latency elapsed. With the default zero-latency unlimited-
+    // bandwidth link this lands this cycle's own corrections, which
+    // reproduces the synchronous model bit-for-bit.
+    if (queued) {
+        service_offchip(fresh, report);
+    }
+
     ++cycles_;
     return report;
+}
+
+void
+BtwcSystem::service_offchip(uint64_t fresh, CycleReport &report)
+{
+    const OffchipQueue::StepResult sr = queue_.step(fresh);
+
+    // Serve: pop the requests entering service this cycle (FIFO) and
+    // decode them, grouped per half through that half's
+    // decode_batch_from path. Within one logical qubit the
+    // one-outstanding-request-per-half contract bounds each group at
+    // a single request -- real multi-request batches need a service
+    // shared across qubits (see ROADMAP) -- but routing through the
+    // batched API here means such a service amortizes for free.
+    // Results enter the in-flight FIFO in the original serve order,
+    // matching the queue's landing order.
+    if (sr.served > 0) {
+        std::vector<PendingDecode> served;
+        served.reserve(sr.served);
+        for (uint64_t i = 0; i < sr.served; ++i) {
+            served.push_back(std::move(waiting_.front()));
+            waiting_.erase(waiting_.begin());
+        }
+        std::vector<std::vector<uint8_t>> corrections(served.size());
+        for (size_t h = 0; h < halves_.size(); ++h) {
+            std::vector<size_t> members;
+            for (size_t i = 0; i < served.size(); ++i) {
+                if (served[i].half == static_cast<int>(h)) {
+                    members.push_back(i);
+                }
+            }
+            if (members.empty()) {
+                continue;
+            }
+            if (config_.offchip == OffchipPolicy::Oracle) {
+                // The payload already is the oracle's "correction":
+                // the escalation-time error state.
+                for (const size_t i : members) {
+                    corrections[i] = std::move(served[i].payload);
+                }
+                continue;
+            }
+            std::vector<std::vector<DetectionEvent>> batch;
+            batch.reserve(members.size());
+            for (const size_t i : members) {
+                batch.push_back(
+                    events_from_syndrome(served[i].payload));
+            }
+            std::vector<TierChain::Result> results =
+                halves_[h].chain.decode_batch_from(
+                    static_cast<size_t>(served[members[0]].tier_index),
+                    batch, 1);
+            for (size_t i = 0; i < members.size(); ++i) {
+                corrections[members[i]] =
+                    std::move(results[i].decode.correction);
+            }
+        }
+        for (size_t i = 0; i < served.size(); ++i) {
+            inflight_.push_back(InflightCorrection{
+                served[i].half, std::move(corrections[i])});
+        }
+    }
+
+    // Land: apply every correction whose latency elapsed and free the
+    // half for its next escalation.
+    for (uint64_t i = 0; i < sr.landed; ++i) {
+        InflightCorrection &landing = inflight_.front();
+        frames_[landing.half].apply_mask(landing.correction);
+        half_busy_[landing.half] = false;
+        ++report.landed;
+        inflight_.erase(inflight_.begin());
+    }
+    report.queue_backlog = queue_.backlog();
 }
 
 } // namespace btwc

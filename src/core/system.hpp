@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "core/clique.hpp"
 #include "core/filter.hpp"
+#include "core/offchip_queue.hpp"
 #include "decoders/tier_chain.hpp"
 #include "surface/frame.hpp"
 #include "surface/lattice.hpp"
@@ -29,6 +30,20 @@ namespace btwc {
  */
 enum class OffchipPolicy : uint8_t { Oracle = 0, Mwpm = 1 };
 
+/**
+ * How escalated signatures reach the off-chip tier.
+ *
+ * `Queued` (the default) models the paper's actual machine: escalated
+ * signatures are enqueued on a latency/bandwidth-limited link
+ * (core/offchip_queue.hpp) and their corrections land cycles later.
+ * With the default zero-latency unlimited-bandwidth service it
+ * reproduces the synchronous results bit-for-bit (tested). `Inline`
+ * is the historical synchronous model — escalations resolve within
+ * their own cycle — kept as the bit-exactness reference and as an
+ * escape hatch for harnesses that cannot tolerate queue state.
+ */
+enum class OffchipService : uint8_t { Queued = 0, Inline = 1 };
+
 /** Configuration of a single-logical-qubit BTWC pipeline. */
 struct SystemConfig
 {
@@ -43,6 +58,19 @@ struct SystemConfig
      * TierChainConfig::parse.
      */
     TierChainConfig tiers = TierChainConfig::legacy();
+    /** Escalation transport; see OffchipService. */
+    OffchipService service = OffchipService::Queued;
+    /**
+     * Off-chip link model (Queued service only): round-trip decode
+     * latency in cycles, served decodes per cycle (0 = unlimited) and
+     * the link-batch grouping cap (OffchipQueueConfig::max_batch;
+     * within one logical qubit actual decode_batch calls are bounded
+     * by the one-outstanding-request-per-half contract). The defaults
+     * reproduce the synchronous model exactly.
+     */
+    uint64_t offchip_latency = 0;
+    uint64_t offchip_bandwidth = 0;
+    uint64_t offchip_batch = 0;
 };
 
 /** What happened in one cycle of a BTWC pipeline. */
@@ -68,7 +96,32 @@ struct CycleReport
     int raw_weight = 0;
     /** On-chip corrections applied by Clique this cycle. */
     int clique_corrections = 0;
+    /** Escalations enqueued on the off-chip service this cycle. */
+    int queued = 0;
+    /** Queued corrections that landed (were applied) this cycle. */
+    int landed = 0;
+    /**
+     * Decodes deferred to an already-outstanding request of the same
+     * half (see BtwcSystem's reconciliation contract): off-chip
+     * classifications absorbed rather than re-enqueued, and on-chip
+     * resolutions held back rather than applied (either would make
+     * the in-flight correction stale).
+     */
+    int suppressed = 0;
+    /** Requests still waiting for link capacity after this cycle. */
+    uint64_t queue_backlog = 0;
 };
+
+/**
+ * Tier-0 classification of one hierarchical decode, the Clique-verdict
+ * contract of the paper: nothing fired / resolved locally by tier 0 /
+ * escalated. Identical for every chain sharing the same tier 0 --
+ * deeper tiers only change who pays for the COMPLEX signatures.
+ * Shared by the closed-loop pipeline (BtwcSystem::step) and the
+ * open-loop Signature-mode sampler (sim/lifetime.cpp) so the two
+ * modes can never desynchronize on this mapping.
+ */
+CliqueVerdict classify_decode(const TierChain::Result &outcome);
 
 /**
  * The full BTWC decode pipeline of one logical qubit (Fig. 2):
@@ -77,9 +130,31 @@ struct CycleReport
  * first, rare escalation to Union-Find and/or off-chip matching).
  *
  * `step()` advances one code cycle and reports the classification the
- * bandwidth allocator consumes. The bandwidth/stall machinery lives in
- * `core/bandwidth.hpp` / `core/stall.hpp` and the multi-qubit machine
- * model in `sim/fleet.hpp`.
+ * bandwidth allocator consumes. Under the default `Queued` service,
+ * escalated signatures are enqueued on the off-chip link
+ * (core/offchip_queue.hpp) and their corrections land
+ * `offchip_latency` cycles later, persisting through the filter
+ * window; intervening errors stay on the lattice and re-escalate
+ * after the landing, which is how late corrections are reconciled
+ * against syndromes that changed in flight.
+ *
+ * Reconciliation contract: each half has at most one outstanding
+ * off-chip request, and while it is in flight the half applies no
+ * corrections at all. A signature classified off-chip in that window
+ * is *absorbed* (counted in `CycleReport::suppressed`): its errors
+ * remain on the lattice, the landing correction removes the
+ * escalation-time component, and the residual re-escalates as a
+ * fresh request. A signature an on-chip tier could resolve in that
+ * window is *deferred* (also counted as suppressed): the escalated
+ * errors are folded into it, so correcting it now would leave the
+ * landing correction stale and XOR already-fixed errors back on.
+ * Either shortcut -- re-sending the stale syndrome every cycle, or
+ * applying overlapping corrections from both paths -- would
+ * double-correct and oscillate.
+ *
+ * The bandwidth/stall machinery lives in `core/bandwidth.hpp` /
+ * `core/stall.hpp` / `core/offchip_queue.hpp` and the multi-qubit
+ * machine model in `sim/fleet.hpp`.
  */
 class BtwcSystem
 {
@@ -105,6 +180,18 @@ class BtwcSystem
     /** Active configuration. */
     const SystemConfig &config() const { return config_; }
 
+    /** The off-chip service queue (Queued service accounting). */
+    const OffchipQueue &offchip_queue() const { return queue_; }
+
+    /** Decodes deferred to an outstanding request (see above). */
+    uint64_t suppressed_escalations() const { return suppressed_; }
+
+    /** Requests enqueued or in flight whose correction has not landed. */
+    size_t pending_offchip() const
+    {
+        return waiting_.size() + inflight_.size();
+    }
+
   private:
     struct Half
     {
@@ -120,6 +207,30 @@ class BtwcSystem
         std::vector<uint8_t> raw;
     };
 
+    /** An escalation waiting for link capacity. */
+    struct PendingDecode
+    {
+        int half = 0;        ///< halves_/frames_ index
+        int tier_index = 0;  ///< first off-chip tier (resume point)
+        /**
+         * Snapshot taken at escalation time: the filtered syndrome
+         * (Mwpm policy, decoded when served) or the true error state
+         * (Oracle policy, applied as-is when it lands — the oracle
+         * stand-in for the off-chip result).
+         */
+        std::vector<uint8_t> payload;
+    };
+
+    /** A served decode whose correction is in flight back on-chip. */
+    struct InflightCorrection
+    {
+        int half = 0;
+        std::vector<uint8_t> correction;  ///< per-data-qubit flip mask
+    };
+
+    /** Serve and land queued escalations for one cycle (phase 3). */
+    void service_offchip(uint64_t fresh, CycleReport &report);
+
     const RotatedSurfaceCode &code_;
     NoiseParams noise_;
     SystemConfig config_;
@@ -127,6 +238,18 @@ class BtwcSystem
     std::vector<ErrorFrame> frames_;  ///< indexed by error type
     std::vector<Half> halves_;        ///< indexed by error type
     uint64_t cycles_ = 0;
+
+    // Queued off-chip service state. `queue_` does the counting and
+    // scheduling; `waiting_` / `inflight_` carry the payloads in the
+    // same FIFO order, so the queue's per-cycle served/landed counts
+    // say exactly how many entries to move. Plain vectors: the
+    // at-most-one-outstanding-request-per-half contract bounds both
+    // at two entries, so erase-front is free.
+    OffchipQueue queue_;
+    std::vector<PendingDecode> waiting_;
+    std::vector<InflightCorrection> inflight_;
+    bool half_busy_[2] = {false, false};
+    uint64_t suppressed_ = 0;
 };
 
 } // namespace btwc

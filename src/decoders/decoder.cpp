@@ -14,6 +14,18 @@ events_from_syndrome(const std::vector<uint8_t> &syndrome)
     return events;
 }
 
+std::vector<Decoder::Result>
+Decoder::decode_batch(const std::vector<std::vector<DetectionEvent>> &batch,
+                      int rounds) const
+{
+    std::vector<Result> results;
+    results.reserve(batch.size());
+    for (const std::vector<DetectionEvent> &events : batch) {
+        results.push_back(decode(events, rounds));
+    }
+    return results;
+}
+
 Decoder::Result
 Decoder::decode_syndrome(const std::vector<uint8_t> &syndrome) const
 {

@@ -78,6 +78,20 @@ class Decoder
                           int rounds) const = 0;
 
     /**
+     * Decode a batch of independent event sets observed over the same
+     * number of rounds, returning one Result per entry in order. The
+     * base implementation is a plain loop over `decode`; backends with
+     * per-call setup cost (graph scratch allocation in `MwpmDecoder` /
+     * `ExactDecoder`) override it to amortize that setup across the
+     * batch. Semantics are identical to the loop by contract: the
+     * async off-chip service (core/offchip_queue.hpp) relies on
+     * batched and per-item decoding being bit-identical.
+     */
+    virtual std::vector<Result>
+    decode_batch(const std::vector<std::vector<DetectionEvent>> &batch,
+                 int rounds) const;
+
+    /**
      * Convenience for perfect-measurement decoding: treat a single
      * noiseless syndrome (one byte per check, nonzero = fired) as one
      * round of detection events. Shared by all backends.

@@ -7,8 +7,9 @@ namespace btwc {
 /**
  * Brute-force exact matching decoder tier.
  *
- * Shares the spacetime graph construction and path recovery with
- * `MwpmDecoder` but solves the defect pairing with the subset DP of
+ * Shares the spacetime graph construction, path recovery, and the
+ * scratch-reusing `decode_batch` specialization with `MwpmDecoder`
+ * but solves the defect pairing with the subset DP of
  * matching/exact.hpp (exact by construction, O(2^k * k) in the defect
  * count k). It is the correctness oracle for the blossom-backed
  * production tier and an alternative final tier for cross-validation

@@ -1,7 +1,7 @@
 #include "decoders/tier_chain.hpp"
 
-#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "decoders/clique_tier.hpp"
 #include "decoders/exact_decoder.hpp"
@@ -85,11 +85,13 @@ TierChainConfig::deep(int uf_threshold)
                             TierSpec::mwpm()}};
 }
 
-TierChainConfig
-TierChainConfig::parse(const std::string &spec, int uf_threshold)
+bool
+TierChainConfig::try_parse(const std::string &spec, int uf_threshold,
+                           TierChainConfig *out, std::string *error)
 {
     if (spec.empty()) {
-        return legacy();
+        *out = legacy();
+        return true;
     }
     TierChainConfig config;
     size_t start = 0;
@@ -108,14 +110,16 @@ TierChainConfig::parse(const std::string &spec, int uf_threshold)
         const size_t colon = token.find(':');
         if (colon != std::string::npos) {
             const std::string suffix = token.substr(colon + 1);
-            char *end = nullptr;
-            threshold = std::strtol(suffix.c_str(), &end, 10);
-            if (suffix.empty() || end == nullptr || *end != '\0') {
-                std::fprintf(stderr,
-                             "malformed tier threshold '%s' in spec "
-                             "'%s'; expected an integer after ':'\n",
-                             suffix.c_str(), spec.c_str());
-                std::exit(2);
+            char *suffix_end = nullptr;
+            threshold = std::strtol(suffix.c_str(), &suffix_end, 10);
+            if (suffix.empty() || suffix_end == nullptr ||
+                *suffix_end != '\0') {
+                if (error != nullptr) {
+                    *error = "malformed tier threshold '" + suffix +
+                             "' in spec '" + spec +
+                             "'; expected an integer after ':'";
+                }
+                return false;
             }
             has_threshold = true;
             token = token.substr(0, colon);
@@ -131,20 +135,30 @@ TierChainConfig::parse(const std::string &spec, int uf_threshold)
         } else if (token == "exact") {
             tier = TierSpec::exact();
         } else {
-            std::fprintf(stderr,
-                         "unknown decoder tier '%s' in spec '%s'; "
-                         "expected clique | uf | union-find | mwpm | "
-                         "exact (optionally ':<threshold>')\n",
-                         token.c_str(), spec.c_str());
-            std::exit(2);
+            if (error != nullptr) {
+                *error = "unknown decoder tier '" + token +
+                         "' in spec '" + spec +
+                         "'; expected clique | uf | union-find | mwpm "
+                         "| exact (optionally ':<threshold>')";
+            }
+            return false;
         }
         if (has_threshold) {
             tier.escalation_threshold = static_cast<int>(threshold);
         }
         config.tiers.push_back(tier);
     }
-    if (config.tiers.empty()) {
-        return legacy();
+    *out = config.tiers.empty() ? legacy() : std::move(config);
+    return true;
+}
+
+TierChainConfig
+TierChainConfig::parse(const std::string &spec, int uf_threshold)
+{
+    TierChainConfig config;
+    std::string error;
+    if (!try_parse(spec, uf_threshold, &config, &error)) {
+        throw std::invalid_argument(error);
     }
     return config;
 }
@@ -186,25 +200,37 @@ TierChain::Result
 TierChain::decode(const std::vector<DetectionEvent> &events, int rounds,
                   const Options &options) const
 {
-    Result result;
     if (events.empty()) {
         // Nothing fired: tier 0 resolves trivially and nothing leaves
         // the chip, regardless of where the chain's tiers live (and
         // regardless of stop_before_offchip).
+        Result result;
         result.tier = config_.tiers[0].kind;
         result.decode = tiers_[0]->decode(events, rounds);
         result.resolved = true;
         return result;
     }
-    int observed_effort = 0;
+    return decode_from(0, events, rounds, options, 0);
+}
+
+TierChain::Result
+TierChain::decode_from(size_t first_tier,
+                       const std::vector<DetectionEvent> &events,
+                       int rounds, const Options &options,
+                       int base_effort) const
+{
+    Result result;
+    int observed_effort = base_effort;
     const size_t last = tiers_.size() - 1;
-    for (size_t i = 0; i <= last; ++i) {
+    for (size_t i = first_tier; i <= last; ++i) {
         const TierSpec &spec = config_.tiers[i];
         result.tier_index = static_cast<int>(i);
         result.tier = spec.kind;
         result.offchip = spec.offchip;
         if (options.stop_before_offchip && spec.offchip) {
-            // The caller substitutes an oracle for this tier.
+            // The caller substitutes an oracle for this tier -- or,
+            // under the queued service, enqueues the signature and
+            // later resumes here via decode_from / decode_batch_from.
             result.resolved = false;
             result.effort = observed_effort;
             result.decode.defects = static_cast<int>(events.size());
@@ -225,6 +251,40 @@ TierChain::decode(const std::vector<DetectionEvent> &events, int rounds,
         }
     }
     return result;  // unreachable; the final tier always returns
+}
+
+std::vector<TierChain::Result>
+TierChain::decode_batch_from(
+    size_t first_tier,
+    const std::vector<std::vector<DetectionEvent>> &batch,
+    int rounds) const
+{
+    const TierSpec &spec = config_.tiers[first_tier];
+    const size_t last = tiers_.size() - 1;
+    std::vector<Decoder::Result> attempts =
+        tiers_[first_tier]->decode_batch(batch, rounds);
+    std::vector<Result> results(batch.size());
+    for (size_t b = 0; b < batch.size(); ++b) {
+        Decoder::Result &attempt = attempts[b];
+        const bool accept =
+            attempt.resolved && (spec.escalation_threshold < 0 ||
+                                 attempt.effort <= spec.escalation_threshold);
+        if (accept || first_tier == last) {
+            Result &result = results[b];
+            result.tier_index = static_cast<int>(first_tier);
+            result.tier = spec.kind;
+            result.offchip = spec.offchip;
+            result.resolved = attempt.resolved;
+            result.effort = attempt.effort;
+            result.decode = std::move(attempt);
+        } else {
+            // Rare: the batched tier declined or escalated on effort;
+            // finish this entry through the deeper tiers per-item.
+            results[b] = decode_from(first_tier + 1, batch[b], rounds,
+                                     Options(), attempt.effort);
+        }
+    }
+    return results;
 }
 
 TierChain::Result

@@ -65,13 +65,22 @@ struct TierChainConfig
     static TierChainConfig deep(int uf_threshold = 2);
 
     /**
-     * Parse a comma-separated tier spec from the CLI flag layer, e.g.
-     * "clique,uf,mwpm" or "clique,union-find:3,exact". Recognized
-     * tiers: clique | uf | union-find | mwpm | exact; an optional
-     * ":<n>" suffix sets the tier's escalation threshold (defaulting
-     * to `uf_threshold` for Union-Find tiers). An empty spec yields
-     * the legacy chain. Malformed specs abort with a message on
-     * stderr (CLI contract, cf. common/flags.hpp).
+     * Parse a comma-separated tier spec, e.g. "clique,uf,mwpm" or
+     * "clique,union-find:3,exact". Recognized tiers: clique | uf |
+     * union-find | mwpm | exact; an optional ":<n>" suffix sets the
+     * tier's escalation threshold (defaulting to `uf_threshold` for
+     * Union-Find tiers). An empty spec yields the legacy chain.
+     * Returns false on a malformed spec, leaving `out` untouched and
+     * storing a diagnostic in `error` (when non-null). Never
+     * terminates the process; the CLI exit-on-error behavior lives in
+     * `tiers_from_flags` (common/flags.hpp).
+     */
+    static bool try_parse(const std::string &spec, int uf_threshold,
+                          TierChainConfig *out, std::string *error);
+
+    /**
+     * As `try_parse`, but throws std::invalid_argument on a malformed
+     * spec. Convenient for programmatic callers with exceptions.
      */
     static TierChainConfig parse(const std::string &spec,
                                  int uf_threshold = 2);
@@ -148,6 +157,35 @@ class TierChain
     {
         return decode(events, rounds, Options());
     }
+
+    /**
+     * Resume the hierarchy at tier `first_tier`: run tiers
+     * [first_tier, last] with the normal escalation predicates. This
+     * is how the async off-chip service (core/offchip_queue.hpp)
+     * finishes a decode the on-chip walk stopped in front of
+     * (`Options::stop_before_offchip` reports the stop position in
+     * `Result::tier_index`): calling decode_from at that index with
+     * default options yields exactly the result the synchronous
+     * inline walk would have produced. `base_effort` seeds the
+     * max-effort accumulator with what the earlier tiers observed.
+     */
+    Result decode_from(size_t first_tier,
+                       const std::vector<DetectionEvent> &events,
+                       int rounds, const Options &options,
+                       int base_effort = 0) const;
+
+    /**
+     * Batched form of `decode_from` over independent event sets: tier
+     * `first_tier` runs once via `Decoder::decode_batch` (amortizing
+     * graph setup across the batch), and the rare entries it declines
+     * or escalates-on-effort fall through to the deeper tiers
+     * per-item. Results are bit-identical to calling `decode_from`
+     * per entry.
+     */
+    std::vector<Result>
+    decode_batch_from(size_t first_tier,
+                      const std::vector<std::vector<DetectionEvent>> &batch,
+                      int rounds) const;
 
     /** Single perfect-measurement round through the hierarchy. */
     Result decode_syndrome(const std::vector<uint8_t> &syndrome,

@@ -41,9 +41,60 @@ MwpmDecoder::MwpmDecoder(const RotatedSurfaceCode &code, CheckType detector,
     assert(space_weight >= 1 && time_weight >= 1);
 }
 
+/**
+ * Reusable per-decode working set: the per-defect distance and parent
+ * arrays dominate the setup cost of a decode (k arrays of
+ * rounds * num_checks entries each), so `decode_batch` keeps one
+ * Scratch alive across the batch and every item reuses the grown
+ * capacity instead of reallocating.
+ */
+struct MwpmDecoder::Scratch
+{
+    std::vector<std::vector<int>> dist;
+    std::vector<std::vector<int>> parent_node;
+    std::vector<std::vector<int>> parent_data;
+    std::vector<int64_t> boundary_dist;
+    std::vector<int> boundary_node;
+    std::vector<int> boundary_via;
+
+    void prepare(int defects)
+    {
+        const size_t k = static_cast<size_t>(defects);
+        if (dist.size() < k) {
+            dist.resize(k);
+            parent_node.resize(k);
+            parent_data.resize(k);
+        }
+        boundary_dist.resize(k);
+        boundary_node.resize(k);
+        boundary_via.resize(k);
+    }
+};
+
 MwpmDecoder::Result
 MwpmDecoder::decode(const std::vector<DetectionEvent> &events,
                     int rounds) const
+{
+    Scratch scratch;
+    return decode_impl(events, rounds, scratch);
+}
+
+std::vector<MwpmDecoder::Result>
+MwpmDecoder::decode_batch(
+    const std::vector<std::vector<DetectionEvent>> &batch, int rounds) const
+{
+    Scratch scratch;
+    std::vector<Result> results;
+    results.reserve(batch.size());
+    for (const std::vector<DetectionEvent> &events : batch) {
+        results.push_back(decode_impl(events, rounds, scratch));
+    }
+    return results;
+}
+
+MwpmDecoder::Result
+MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
+                         int rounds, Scratch &scratch) const
 {
     Result result;
     result.correction.assign(code_.num_data(), 0);
@@ -60,12 +111,13 @@ MwpmDecoder::decode(const std::vector<DetectionEvent> &events,
     // node plus parent pointers for path recovery. parent_data records
     // the data qubit of a space edge (or -1 for a time edge). With the
     // default unit weights this degenerates to breadth-first search.
-    std::vector<std::vector<int>> dist(k);
-    std::vector<std::vector<int>> parent_node(k);
-    std::vector<std::vector<int>> parent_data(k);
-    std::vector<int64_t> boundary_dist(k);
-    std::vector<int> boundary_node(k);
-    std::vector<int> boundary_via(k);
+    scratch.prepare(k);
+    std::vector<std::vector<int>> &dist = scratch.dist;
+    std::vector<std::vector<int>> &parent_node = scratch.parent_node;
+    std::vector<std::vector<int>> &parent_data = scratch.parent_data;
+    std::vector<int64_t> &boundary_dist = scratch.boundary_dist;
+    std::vector<int> &boundary_node = scratch.boundary_node;
+    std::vector<int> &boundary_via = scratch.boundary_via;
 
     for (int i = 0; i < k; ++i) {
         assert(events[i].round >= 0 && events[i].round < rounds);
@@ -126,24 +178,28 @@ MwpmDecoder::decode(const std::vector<DetectionEvent> &events,
         }
     }
 
+    // Defect-defect pairing distances, shared by both matcher
+    // backends (a divergence here would silently desynchronize the
+    // exact-DP oracle from the production blossom matcher).
+    std::vector<std::vector<int64_t>> defect_w(
+        k, std::vector<int64_t>(k, -1));
+    for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j) {
+            const int nj = node_id(events[j].check, events[j].round);
+            const int d = dist[i][nj];
+            if (d >= 0) {
+                defect_w[i][j] = d;
+                defect_w[j][i] = d;
+            }
+        }
+    }
+
     // Solve the pairing: mate_defect[i] is another defect index, or -1
     // for a boundary retirement.
     std::vector<int> mate_defect;
     if (matcher_ == Matcher::ExactDp && k <= kExactDpMaxDefects) {
-        std::vector<std::vector<int64_t>> w(
-            k, std::vector<int64_t>(k, -1));
-        for (int i = 0; i < k; ++i) {
-            for (int j = i + 1; j < k; ++j) {
-                const int nj = node_id(events[j].check, events[j].round);
-                const int d = dist[i][nj];
-                if (d >= 0) {
-                    w[i][j] = d;
-                    w[j][i] = d;
-                }
-            }
-        }
         const int64_t total = exact_min_weight_with_boundary_mates(
-            k, w, boundary_dist, mate_defect);
+            k, defect_w, boundary_dist, mate_defect);
         assert(total >= 0 &&
                "defect graph always admits a boundary matching");
         (void)total;
@@ -155,12 +211,8 @@ MwpmDecoder::decode(const std::vector<DetectionEvent> &events,
                                             std::vector<int64_t>(n, -1));
         for (int i = 0; i < k; ++i) {
             for (int j = i + 1; j < k; ++j) {
-                const int nj = node_id(events[j].check, events[j].round);
-                const int d = dist[i][nj];
-                if (d >= 0) {
-                    w[i][j] = d;
-                    w[j][i] = d;
-                }
+                w[i][j] = defect_w[i][j];
+                w[j][i] = defect_w[j][i];
             }
             if (boundary_dist[i] >= 0) {
                 w[i][k + i] = boundary_dist[i];

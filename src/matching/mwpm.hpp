@@ -67,7 +67,24 @@ class MwpmDecoder : public Decoder
     Result decode(const std::vector<DetectionEvent> &events,
                   int rounds) const override;
 
+    /**
+     * Batched decoding with shared graph scratch: the per-defect
+     * distance / parent arrays (the dominant per-call allocation) are
+     * set up once and reused across the whole batch, which is how the
+     * async off-chip service amortizes graph setup over the
+     * escalations it drains per cycle. Results are bit-identical to
+     * looping `decode`. `ExactDecoder` inherits the specialization.
+     */
+    std::vector<Result>
+    decode_batch(const std::vector<std::vector<DetectionEvent>> &batch,
+                 int rounds) const override;
+
   private:
+    struct Scratch;
+
+    Result decode_impl(const std::vector<DetectionEvent> &events,
+                       int rounds, Scratch &scratch) const;
+
     int node_id(int check, int round) const { return round * num_checks_ + check; }
 
     const RotatedSurfaceCode &code_;

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "common/rng.hpp"
+#include "core/offchip_queue.hpp"
 #include "core/stall.hpp"
 #include "sim/engine.hpp"
 #include "surface/lattice.hpp"
@@ -130,7 +131,13 @@ run_fleet_with_bandwidth(const FleetConfig &config, uint64_t bandwidth)
 {
     DemandSource demand(static_cast<uint64_t>(config.num_qubits),
                         config.offchip_prob, config.seed, config.threads);
-    StallController queue(bandwidth);
+    // The off-chip link as an async service (core/offchip_queue.hpp):
+    // bandwidth-limited FIFO with `offchip_latency` cycles between a
+    // decode entering service and its correction landing. Latency 0
+    // reproduces the historical StallController run step-for-step.
+    const uint64_t effective = bandwidth ? bandwidth : 1;
+    OffchipQueue queue(OffchipQueueConfig{effective, config.offchip_latency,
+                                          config.offchip_batch});
     // The program needs `config.cycles` cycles of real progress; stall
     // cycles extend the wall clock and keep generating fresh errors.
     // Provisioning at (or below) the demand mean never converges --
@@ -143,12 +150,12 @@ run_fleet_with_bandwidth(const FleetConfig &config, uint64_t bandwidth)
         queue.step(demand.next());
         if (queue.total_cycles() >= wall_clock_cap ||
             queue.backlog() >
-                bandwidth * (config.cycles + queue.total_cycles())) {
+                effective * (config.cycles + queue.total_cycles())) {
             break;
         }
     }
     FleetRunResult result;
-    result.bandwidth = queue.bandwidth();
+    result.bandwidth = effective;
     result.total_cycles = queue.total_cycles();
     result.work_cycles = queue.work_cycles();
     result.stall_cycles = queue.stall_cycles();
@@ -156,7 +163,11 @@ run_fleet_with_bandwidth(const FleetConfig &config, uint64_t bandwidth)
     result.exec_time_increase = queue.execution_time_increase();
     result.bandwidth_reduction =
         static_cast<double>(config.num_qubits) /
-        static_cast<double>(queue.bandwidth());
+        static_cast<double>(effective);
+    result.mean_queue_delay = queue.delay_histogram().mean();
+    result.p99_queue_delay = queue.delay_histogram().percentile(0.99);
+    result.max_queue_delay = queue.delay_histogram().max_value();
+    result.mean_batch = queue.batch_histogram().mean();
     return result;
 }
 

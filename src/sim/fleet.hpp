@@ -33,6 +33,17 @@ struct FleetConfig
      */
     int threads = 1;
     uint64_t seed = 1;
+    /**
+     * Off-chip service latency in cycles (see
+     * core/offchip_queue.hpp): corrections land this many cycles
+     * after their decode is served. 0 reproduces the historical
+     * synchronous StallController run bit-for-bit; nonzero shifts the
+     * queue-delay distribution without changing the stall behavior
+     * (latency is pipelined, only backlog stalls).
+     */
+    uint64_t offchip_latency = 0;
+    /** decode_batch grouping cap for the served stream (0 = per cycle). */
+    uint64_t offchip_batch = 0;
 };
 
 /** One cycle of a provisioned fleet trace (Fig. 9). */
@@ -52,8 +63,17 @@ struct FleetRunResult
     uint64_t work_cycles = 0;
     uint64_t stall_cycles = 0;
     uint64_t max_backlog = 0;
-    double exec_time_increase = 0.0;   ///< stalls / work cycles
+    double exec_time_increase = 0.0;   ///< stalls / work cycles (+inf all-stall)
     double bandwidth_reduction = 0.0;  ///< num_qubits / bandwidth
+    /**
+     * Enqueue-to-landing delay of the served decode stream in cycles
+     * (= FleetConfig::offchip_latency plus queueing wait; all-latency
+     * when the link never backs up).
+     */
+    double mean_queue_delay = 0.0;
+    uint64_t p99_queue_delay = 0;
+    uint64_t max_queue_delay = 0;
+    double mean_batch = 0.0;  ///< mean served link-batch size (see OffchipQueue::batch_histogram)
 };
 
 /** Demand histogram from the binomial fleet model. */

@@ -27,6 +27,10 @@ LifetimeStats::merge(const LifetimeStats &other)
         tier_halves[t] += other.tier_halves[t];
     }
     offchip_halves += other.offchip_halves;
+    offchip_queue_delay.merge(other.offchip_queue_delay);
+    offchip_batch_sizes.merge(other.offchip_batch_sizes);
+    suppressed_escalations += other.suppressed_escalations;
+    pending_offchip += other.pending_offchip;
 }
 
 namespace {
@@ -60,6 +64,10 @@ run_pipeline(const LifetimeConfig &config)
     sys_config.filter_rounds = config.filter_rounds;
     sys_config.offchip = config.offchip;
     sys_config.tiers = config.tiers;
+    sys_config.service = config.service;
+    sys_config.offchip_latency = config.offchip_latency;
+    sys_config.offchip_bandwidth = config.offchip_bandwidth;
+    sys_config.offchip_batch = config.offchip_batch;
     BtwcSystem system(code,
                       NoiseParams{config.p, config.meas_probability()},
                       sys_config, config.seed);
@@ -89,6 +97,11 @@ run_pipeline(const LifetimeConfig &config)
             static_cast<uint64_t>(report.clique_corrections);
         stats.raw_weight.add(static_cast<uint64_t>(report.raw_weight));
     }
+    stats.offchip_queue_delay = system.offchip_queue().delay_histogram();
+    stats.offchip_batch_sizes = system.offchip_queue().batch_histogram();
+    stats.suppressed_escalations = system.suppressed_escalations();
+    stats.pending_offchip =
+        static_cast<uint64_t>(system.pending_offchip());
     return stats;
 }
 
@@ -153,14 +166,9 @@ run_signature(const LifetimeConfig &config)
             }
             const TierChain::Result out =
                 half.chain.decode_syndrome(half.filtered, chain_options);
-            CliqueVerdict half_verdict;
-            if (out.decode.defects == 0) {
-                half_verdict = CliqueVerdict::AllZeros;
-            } else if (out.tier_index == 0 && out.resolved) {
-                half_verdict = CliqueVerdict::Trivial;
-            } else {
-                half_verdict = CliqueVerdict::Complex;
-            }
+            // Shared with BtwcSystem::step (the tier-0 classification
+            // contract): the two modes must agree on this mapping.
+            const CliqueVerdict half_verdict = classify_decode(out);
             count_half(stats, half_verdict, out.tier, out.offchip);
             if (half_verdict == CliqueVerdict::Complex) {
                 verdict = CliqueVerdict::Complex;

@@ -38,6 +38,19 @@ struct LifetimeConfig
     LifetimeMode mode = LifetimeMode::Signature;
     OffchipPolicy offchip = OffchipPolicy::Oracle;  ///< Pipeline mode only
     /**
+     * Off-chip escalation transport (Pipeline mode only, cf.
+     * SystemConfig): the default Queued service with zero latency and
+     * unlimited bandwidth reproduces the historical synchronous
+     * results bit-for-bit; nonzero `offchip_latency` /
+     * `offchip_bandwidth` open the latency x bandwidth x tier-chain
+     * grid (corrections land late, backlog builds under a narrow
+     * link). `offchip_batch` caps the decode_batch group size.
+     */
+    OffchipService service = OffchipService::Queued;
+    uint64_t offchip_latency = 0;
+    uint64_t offchip_bandwidth = 0;
+    uint64_t offchip_batch = 0;
+    /**
      * The decode hierarchy (cf. SystemConfig::tiers); the default is
      * the paper's two-tier Clique -> MWPM chain, and e.g.
      * TierChainConfig::deep() inserts the §8.1 Union-Find mid-tier.
@@ -89,6 +102,22 @@ struct LifetimeStats
      */
     uint64_t tier_halves[4] = {0, 0, 0, 0};
     uint64_t offchip_halves = 0;  ///< escalations that left the chip
+
+    /**
+     * Queued off-chip service observables (Pipeline mode with the
+     * Queued service; all-empty otherwise). `offchip_queue_delay` is
+     * the enqueue-to-landing delay of every landed correction (its
+     * total() is the landed count); `offchip_batch_sizes` the size of
+     * every served link batch (see OffchipQueue::batch_histogram);
+     * `suppressed_escalations` counts decodes deferred to an
+     * in-flight request of the same half (the reconciliation
+     * contract, core/system.hpp); `pending_offchip` the requests
+     * still outstanding when the run ended.
+     */
+    CountHistogram offchip_queue_delay;
+    CountHistogram offchip_batch_sizes;
+    uint64_t suppressed_escalations = 0;
+    uint64_t pending_offchip = 0;
 
     /**
      * Fold the statistics of another (independently sampled) run into

@@ -48,6 +48,15 @@ struct MemoryResult
     uint64_t failures = 0;
     uint64_t offchip_rounds = 0;  ///< rounds flagged COMPLEX (Clique arm)
     uint64_t total_rounds = 0;
+    /**
+     * Trials whose decode failed to clear the perfect-round syndrome.
+     * This must be zero -- the final matching pass closes every
+     * detection-event chain by construction -- and it is a *counted
+     * runtime check*, not an assert, so Release/-DNDEBUG builds (the
+     * CI smoke path) surface a violation instead of silently skipping
+     * the invariant. A nonzero count invalidates `ler()`.
+     */
+    uint64_t unclear_syndromes = 0;
 
     /** Logical error rate per `rounds`-round block. */
     double ler() const

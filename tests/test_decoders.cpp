@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -196,6 +198,127 @@ TEST(TierChainConfig, ParsesSpecStrings)
 
     EXPECT_EQ(TierChainConfig::deep(2).describe(),
               "clique>union-find(2)>mwpm");
+}
+
+TEST(TierChainConfig, TryParseReportsMalformedSpecsWithoutExiting)
+{
+    // Library code must never kill the process: malformed specs come
+    // back as a status + diagnostic (the CLI exit lives in
+    // tiers_from_flags, common/flags.cpp).
+    TierChainConfig config = TierChainConfig::deep();
+    const TierChainConfig before = config;
+    std::string error;
+
+    EXPECT_FALSE(TierChainConfig::try_parse("clique,bogus,mwpm", 2,
+                                            &config, &error));
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+    // A failed parse leaves the output untouched.
+    EXPECT_EQ(config.describe(), before.describe());
+
+    error.clear();
+    EXPECT_FALSE(
+        TierChainConfig::try_parse("clique,uf:x,mwpm", 2, &config, &error));
+    EXPECT_NE(error.find("threshold"), std::string::npos);
+
+    EXPECT_FALSE(TierChainConfig::try_parse("uf:", 2, &config, &error));
+    EXPECT_FALSE(
+        TierChainConfig::try_parse("clique,mwpm:3junk", 2, &config,
+                                   &error));
+    // A null error sink is allowed.
+    EXPECT_FALSE(
+        TierChainConfig::try_parse("nope", 2, &config, nullptr));
+
+    EXPECT_TRUE(
+        TierChainConfig::try_parse("clique,uf:3,mwpm", 2, &config, &error));
+    EXPECT_EQ(config.describe(), "clique>union-find(3)>mwpm");
+}
+
+TEST(TierChainConfig, ParseThrowsOnMalformedSpec)
+{
+    EXPECT_THROW(TierChainConfig::parse("clique,bogus"),
+                 std::invalid_argument);
+    EXPECT_THROW(TierChainConfig::parse("uf:notanumber"),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(TierChainConfig::parse("clique,uf:3,exact"));
+}
+
+TEST(DecodeBatch, DefaultAndSpecializedBatchesMatchSequentialDecodes)
+{
+    // The decode_batch contract: batched results are bit-identical to
+    // looping decode, for the default loop (UnionFind) and the
+    // scratch-reusing specialization (Mwpm and, inherited, Exact).
+    const RotatedSurfaceCode code(7);
+    const MwpmDecoder mwpm(code, CheckType::Z);
+    const ExactDecoder exact(code, CheckType::Z);
+    const UnionFindDecoder uf(code, CheckType::Z);
+
+    Rng rng(17);
+    ErrorFrame frame(code, CheckType::X);
+    std::vector<std::vector<DetectionEvent>> batch;
+    for (int i = 0; i < 40; ++i) {
+        const auto syndrome = random_syndrome(code, 0.03, rng, frame);
+        batch.push_back(events_from_syndrome(syndrome));
+    }
+    batch.push_back({});  // empty entries ride along too
+
+    for (const Decoder *decoder :
+         {static_cast<const Decoder *>(&mwpm),
+          static_cast<const Decoder *>(&exact),
+          static_cast<const Decoder *>(&uf)}) {
+        const std::vector<Decoder::Result> batched =
+            decoder->decode_batch(batch, 1);
+        ASSERT_EQ(batched.size(), batch.size()) << decoder->name();
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const Decoder::Result single = decoder->decode(batch[i], 1);
+            EXPECT_EQ(batched[i].correction, single.correction)
+                << decoder->name() << " item " << i;
+            EXPECT_EQ(batched[i].weight, single.weight)
+                << decoder->name() << " item " << i;
+            EXPECT_EQ(batched[i].defects, single.defects)
+                << decoder->name() << " item " << i;
+            EXPECT_EQ(batched[i].resolved, single.resolved)
+                << decoder->name() << " item " << i;
+        }
+    }
+}
+
+TEST(DecodeBatch, TierChainBatchResumeMatchesPerItemResume)
+{
+    // decode_batch_from is how the async service drains a batch: it
+    // must agree with resuming each item individually.
+    const RotatedSurfaceCode code(7);
+    const TierChain chain(code, CheckType::Z, TierChainConfig::legacy());
+    TierChain::Options stop;
+    stop.stop_before_offchip = true;
+
+    Rng rng(19);
+    ErrorFrame frame(code, CheckType::X);
+    std::vector<std::vector<DetectionEvent>> batch;
+    size_t resume_tier = 0;
+    for (int i = 0; i < 200 && batch.size() < 24; ++i) {
+        const auto syndrome = random_syndrome(code, 0.03, rng, frame);
+        const TierChain::Result classified =
+            chain.decode_syndrome(syndrome, stop);
+        if (classified.resolved || !classified.offchip) {
+            continue;  // not an escalation
+        }
+        resume_tier = static_cast<size_t>(classified.tier_index);
+        batch.push_back(events_from_syndrome(syndrome));
+    }
+    ASSERT_GT(batch.size(), 4u);
+
+    const std::vector<TierChain::Result> batched =
+        chain.decode_batch_from(resume_tier, batch, 1);
+    for (size_t i = 0; i < batch.size(); ++i) {
+        const TierChain::Result single =
+            chain.decode_from(resume_tier, batch[i], 1,
+                              TierChain::Options());
+        EXPECT_EQ(batched[i].decode.correction, single.decode.correction)
+            << "item " << i;
+        EXPECT_EQ(batched[i].decode.weight, single.decode.weight);
+        EXPECT_EQ(batched[i].tier_index, single.tier_index);
+        EXPECT_TRUE(batched[i].resolved);
+    }
 }
 
 TEST(TierChain, EmptyConfigFallsBackToLegacyChain)

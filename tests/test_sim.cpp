@@ -182,6 +182,28 @@ TEST(Memory, UnionFindArmWorks)
     EXPECT_LT(uf.ler(), base.ler() * 5 + 0.02);
 }
 
+TEST(Memory, SyndromeClearInvariantIsCountedNotAsserted)
+{
+    // The final matching pass closes every detection-event chain, so
+    // the perfect-round syndrome must always come back clear -- and
+    // since PR 2 that invariant is a *counted runtime check* in
+    // MemoryResult (visible in -DNDEBUG Release builds, which strip
+    // the old assert), not a debug-only assert.
+    MemoryConfig config;
+    config.distance = 5;
+    config.p = 8e-3;
+    config.max_trials = 3000;
+    config.target_failures = 1000000;
+    for (const DecoderArm arm :
+         {DecoderArm::MwpmOnly, DecoderArm::CliqueMwpm,
+          DecoderArm::UnionFindOnly}) {
+        const auto result = run_memory_experiment(config, arm);
+        EXPECT_EQ(result.unclear_syndromes, 0u)
+            << decoder_arm_name(arm);
+        EXPECT_GT(result.trials, 0u);
+    }
+}
+
 TEST(Memory, EarlyStopOnTargetFailures)
 {
     MemoryConfig config;
