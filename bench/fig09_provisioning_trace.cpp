@@ -7,6 +7,12 @@
  * Paper shape: median provisioning stalls on the vast majority of
  * cycles (an accumulating decode backlog); 99th-percentile
  * provisioning stalls on at most a cycle or two.
+ *
+ * The binomial demand model is cross-checked against *real* demand: a
+ * small fully simulated fleet whose escalations route through one
+ * shared off-chip link (core/offchip_service.hpp, `--shared-link`
+ * semantics), with the provisioning percentiles of both models on the
+ * same axes. `--fleet-size` / `--exact_cycles` size that leg.
  */
 
 #include <cstdio>
@@ -57,6 +63,15 @@ main(int argc, char **argv)
                 "bandwidth @99th percentile = %llu decodes/cycle\n\n",
                 static_cast<unsigned long long>(b50),
                 static_cast<unsigned long long>(b99));
+
+    // Binomial vs real demand: the binomial model assumes per-qubit
+    // independence with a single q; the exact fleet steps every
+    // pipeline against one shared link and counts what actually
+    // escalates. Both provisioned on the same percentile axis.
+    print_binomial_vs_real_demand(
+        distance, p, q, fleet_link_from_flags(flags, 50),
+        static_cast<uint64_t>(flags.get_int("exact_cycles", 4000)), seed,
+        lconfig.threads);
 
     fleet.cycles = 100;
     for (const auto &[label, bandwidth] :

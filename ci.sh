@@ -12,6 +12,21 @@ cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+echo "== docs check =="
+# README.md must exist and quote the exact tier-1 verify command that
+# ROADMAP.md declares, so the two can never drift apart.
+test -f README.md || { echo "README.md missing" >&2; exit 1; }
+TIER1="$(sed -n 's/^\*\*Tier-1 verify:\*\* `\(.*\)`$/\1/p' ROADMAP.md)"
+test -n "${TIER1}" || { echo "ROADMAP.md tier-1 line missing" >&2; exit 1; }
+grep -Fq "${TIER1}" README.md || {
+    echo "README.md verify command does not match ROADMAP.md:" >&2
+    echo "  ${TIER1}" >&2
+    exit 1
+}
+test -f src/core/README.md || { echo "src/core/README.md missing" >&2; exit 1; }
+echo "docs OK"
+
+echo
 echo "== tier-1 verify (-Werror) =="
 cmake -B build-ci -S . \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -42,5 +57,10 @@ echo "== Release smoke: async off-chip pipeline =="
 ./build-release/sweep_explorer lifetime --pipeline --real_offchip \
     --distance 7 --p 0.008 --cycles 20000 \
     --offchip-latency 4 --offchip-bandwidth 1 --batch 8
+echo
+echo "== Release smoke: shared-link fleet provisioning =="
+./build-release/fleet_provisioning --shared-link --fleet-size 12 \
+    --distance 5 --p 0.006 --qubits 200 --cycles 4000 \
+    --exact_cycles 1500 --hot-fraction 0.1 --hot-mult 8
 echo
 echo "CI OK"

@@ -10,6 +10,18 @@
  *
  *     ./fleet_provisioning [--distance 11] [--p 0.001] [--qubits 1000]
  *                          [--budget 0.10]
+ *
+ * Scenario knobs:
+ *   --hot-fraction F --hot-mult M   heterogeneous fleet: fraction F of
+ *       the qubits escalate M times more often (hot spots / defective
+ *       patches); the demand model turns Poisson-binomial and the
+ *       provisioning sweep runs against it.
+ *   --shared-link [--fleet-size N] [--exact_cycles C]   real-pipeline
+ *       fleet: N fully simulated qubits route every escalation through
+ *       one shared off-chip service (core/offchip_service.hpp),
+ *       provisioned at the percentiles of the *measured* demand, with
+ *       the backlog/delay/batch contention observables the binomial
+ *       model cannot express.
  */
 
 #include <cstdio>
@@ -57,6 +69,27 @@ main(int argc, char **argv)
                     demand.percentile(0.9999)),
                 static_cast<unsigned long long>(demand.max_value()));
 
+    // Heterogeneous fleet: hot spots escalate more often, the demand
+    // turns Poisson-binomial, and the provisioning percentiles shift
+    // -- the rest of the sweep runs against the hot profile.
+    CountHistogram sweep_demand = demand;
+    const double hot_fraction = flags.get_double("hot-fraction", 0.0);
+    if (hot_fraction > 0.0) {
+        const double hot_mult = flags.get_double("hot-mult", 10.0);
+        fleet.qubit_probs = hotspot_probs(qubits, q, hot_fraction, hot_mult);
+        sweep_demand = fleet_demand_histogram(fleet);
+        std::printf("hot-spot profile (%.0f%% of qubits at %.0fx q): "
+                    "mean %.2f, p50 %llu, p99 %llu, p99.99 %llu -- "
+                    "provisioning sweep uses this profile\n\n",
+                    100.0 * hot_fraction, hot_mult, sweep_demand.mean(),
+                    static_cast<unsigned long long>(
+                        sweep_demand.percentile(0.5)),
+                    static_cast<unsigned long long>(
+                        sweep_demand.percentile(0.99)),
+                    static_cast<unsigned long long>(
+                        sweep_demand.percentile(0.9999)));
+    }
+
     fleet.cycles = 200000;
     Table table({"percentile", "bandwidth", "reduction_x",
                  "exec_increase_%", "within_budget"});
@@ -64,7 +97,7 @@ main(int argc, char **argv)
     double chosen_reduction = 0.0;
     for (const double percentile : {0.5, 0.9, 0.99, 0.999, 0.9999}) {
         const uint64_t bandwidth =
-            std::max<uint64_t>(1, demand.percentile(percentile));
+            std::max<uint64_t>(1, sweep_demand.percentile(percentile));
         const FleetRunResult run =
             run_fleet_with_bandwidth(fleet, bandwidth);
         const bool diverged = run.work_cycles < fleet.cycles;
@@ -93,6 +126,60 @@ main(int argc, char **argv)
         std::printf("\n=> no swept percentile met the %.0f%% budget; "
                     "raise the budget or the provisioning.\n",
                     100.0 * budget);
+    }
+
+    // Real-pipeline fleet on one shared link: every qubit is a full
+    // BtwcSystem and every escalation contends for the same service.
+    // Demand is measured (not binomial), and narrowing the link shows
+    // the contention observables -- backlog, queueing delay, mixed-
+    // owner served batches, reconciliation-suppressed escalations.
+    const FleetLinkFlags link = fleet_link_from_flags(flags, 24);
+    if (link.shared_link) {
+        const OffchipServiceFlags offchip = offchip_from_flags(flags);
+        ExactFleetConfig exact;
+        exact.distance = distance;
+        exact.p = p;
+        exact.num_qubits = link.fleet_size;
+        exact.cycles = static_cast<uint64_t>(
+            flags.get_int("exact_cycles", 5000));
+        exact.threads = threads_from_flags(flags);
+        exact.shared_link = true;
+        exact.offchip_latency = offchip.latency;
+        exact.offchip_batch = offchip.batch;
+        const ExactFleetStats real = fleet_demand_exact_stats(exact);
+        std::printf("\n-- shared off-chip link, %d fully simulated "
+                    "qubits --\n",
+                    link.fleet_size);
+        std::printf("real demand (decodes/cycle): mean %.2f, p50 %llu, "
+                    "p99 %llu (binomial would predict mean %.2f)\n",
+                    real.demand.mean(),
+                    static_cast<unsigned long long>(
+                        real.demand.percentile(0.5)),
+                    static_cast<unsigned long long>(
+                        real.demand.percentile(0.99)),
+                    q * link.fleet_size);
+
+        Table shared({"percentile", "bandwidth", "stall_cycles",
+                      "exec_increase_%", "mean_backlog", "p99_qdelay",
+                      "mean_link_batch", "suppressed"});
+        for (const double percentile : {0.5, 0.9, 0.99}) {
+            exact.offchip_bandwidth = std::max<uint64_t>(
+                1, real.demand.percentile(percentile));
+            const ExactFleetStats run = fleet_demand_exact_stats(exact);
+            shared.add_row(
+                {Table::num(100.0 * percentile, 1),
+                 std::to_string(exact.offchip_bandwidth),
+                 std::to_string(run.stall_cycles),
+                 Table::num(100.0 * run.exec_time_increase(), 2),
+                 Table::num(run.backlog.mean(), 2),
+                 std::to_string(run.queue_delay.percentile(0.99)),
+                 Table::num(run.batch_sizes.mean(), 1),
+                 std::to_string(run.suppressed)});
+        }
+        shared.print();
+        std::printf("(served batches mix owners: one decode_batch call "
+                    "amortizes graph setup across the whole fleet's "
+                    "same-cycle escalations)\n");
     }
     return 0;
 }

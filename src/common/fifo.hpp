@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace btwc {
+
+/**
+ * Vector-backed FIFO: consumed entries advance a head index and the
+ * dead prefix is compacted once it dominates the buffer, so pops are
+ * amortized O(1) without deque's segmented storage.
+ *
+ * Why not std::deque: its move constructor is not noexcept in
+ * libstdc++, which would silently turn vector<Owner>::reserve into a
+ * copy for any move-only Owner holding one (and `BtwcSystem` is
+ * move-only). This is the one queue idiom shared by the off-chip
+ * service machinery: `OffchipQueue`'s counting FIFOs, the payload
+ * FIFOs of `BtwcSystem` and `SharedOffchipService`.
+ */
+template <typename T>
+class HeadFifo
+{
+  public:
+    bool empty() const { return head_ == items_.size(); }
+
+    size_t size() const { return items_.size() - head_; }
+
+    T &front() { return items_[head_]; }
+    const T &front() const { return items_[head_]; }
+
+    void push_back(T value) { items_.push_back(std::move(value)); }
+
+    /** Remove and return the oldest entry (FIFO order). */
+    T pop_front()
+    {
+        T out = std::move(items_[head_]);
+        ++head_;
+        if (head_ > 64 && head_ * 2 > items_.size()) {
+            items_.erase(items_.begin(),
+                         items_.begin() + static_cast<long>(head_));
+            head_ = 0;
+        }
+        return out;
+    }
+
+  private:
+    std::vector<T> items_;
+    size_t head_ = 0;
+};
+
+} // namespace btwc

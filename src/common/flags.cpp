@@ -149,4 +149,15 @@ offchip_from_flags(const Flags &flags)
     return offchip;
 }
 
+FleetLinkFlags
+fleet_link_from_flags(const Flags &flags, int default_fleet_size)
+{
+    FleetLinkFlags link;
+    link.shared_link = flags.get_bool("shared-link");
+    const int64_t size = flags.get_int("fleet-size", default_fleet_size);
+    link.fleet_size =
+        size <= 0 ? default_fleet_size : static_cast<int>(size);
+    return link;
+}
+
 } // namespace btwc

@@ -93,4 +93,24 @@ struct OffchipServiceFlags
 
 OffchipServiceFlags offchip_from_flags(const Flags &flags);
 
+/**
+ * Shared fleet-link flags for bench and example binaries
+ * (cf. core/offchip_service.hpp and sim/fleet.hpp):
+ *
+ *   --shared-link    route every simulated qubit's escalations
+ *                    through one shared off-chip service instead of
+ *                    per-qubit private queues
+ *   --fleet-size N   number of fully simulated pipelines in the
+ *                    exact fleet (default per binary; N <= 0 clamps
+ *                    to the default)
+ */
+struct FleetLinkFlags
+{
+    bool shared_link = false;
+    int fleet_size = 0;
+};
+
+FleetLinkFlags fleet_link_from_flags(const Flags &flags,
+                                     int default_fleet_size);
+
 } // namespace btwc

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fifo.hpp"
 #include "common/stats.hpp"
 #include "core/stall.hpp"
 
@@ -157,37 +158,10 @@ class OffchipQueue
         uint64_t delay = 0;
     };
 
-    /**
-     * Vector-backed FIFO of Groups: consumed entries advance `head`
-     * and the dead prefix is compacted once it dominates the buffer.
-     * (A std::deque would fit, but its move constructor is not
-     * noexcept in libstdc++, which would silently turn
-     * vector<BtwcSystem>::reserve into a copy -- and BtwcSystem is
-     * move-only.)
-     */
-    struct GroupFifo
-    {
-        std::vector<Group> items;
-        size_t head = 0;
-
-        bool empty() const { return head == items.size(); }
-        Group &front() { return items[head]; }
-        void push_back(Group group) { items.push_back(group); }
-        void pop_front()
-        {
-            ++head;
-            if (head > 64 && head * 2 > items.size()) {
-                items.erase(items.begin(),
-                            items.begin() + static_cast<long>(head));
-                head = 0;
-            }
-        }
-    };
-
     OffchipQueueConfig config_;
     uint64_t cycle_ = 0;
-    GroupFifo waiting_;     ///< enqueued, not yet in service
-    GroupFifo in_service_;  ///< serving, keyed by land cycle
+    HeadFifo<Group> waiting_;     ///< enqueued, not yet in service
+    HeadFifo<Group> in_service_;  ///< serving, keyed by land cycle
     uint64_t backlog_ = 0;
     uint64_t in_flight_ = 0;
     uint64_t enqueued_ = 0;

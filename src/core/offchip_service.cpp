@@ -1,0 +1,97 @@
+#include "core/offchip_service.hpp"
+
+#include <utility>
+
+#include "decoders/decoder.hpp"
+
+namespace btwc {
+
+SharedOffchipService::SharedOffchipService(const RotatedSurfaceCode &code,
+                                           const TierChainConfig &tiers,
+                                           OffchipQueueConfig link)
+    : queue_(link)
+{
+    const CheckType error_types[2] = {CheckType::X, CheckType::Z};
+    chains_.reserve(2);
+    for (const CheckType err : error_types) {
+        chains_.emplace_back(code, detector_of_error(err), tiers);
+    }
+}
+
+void
+SharedOffchipService::enqueue(Request request)
+{
+    waiting_.push_back(std::move(request));
+    ++fresh_;
+}
+
+const std::vector<SharedOffchipService::Delivery> &
+SharedOffchipService::step()
+{
+    const OffchipQueue::StepResult sr = queue_.step(fresh_);
+    fresh_ = 0;
+
+    // Serve: pop the requests entering service this cycle (FIFO across
+    // owners) and decode them. Non-oracle requests are grouped per
+    // (half, resume tier) and decoded through one decode_batch_from
+    // call each -- the fleet-scale amortization the shared link
+    // exists to expose: a group mixes requests from every qubit that
+    // escalated recently, not just the at-most-one a private queue
+    // could batch. Corrections enter the in-flight FIFO in the
+    // original serve order, matching the queue's landing order.
+    if (sr.served > 0) {
+        std::vector<Request> served;
+        served.reserve(sr.served);
+        for (uint64_t i = 0; i < sr.served; ++i) {
+            served.push_back(waiting_.pop_front());
+        }
+        std::vector<std::vector<uint8_t>> corrections(served.size());
+        std::vector<size_t> members;
+        std::vector<uint8_t> grouped(served.size(), 0);
+        for (size_t first = 0; first < served.size(); ++first) {
+            if (grouped[first]) {
+                continue;
+            }
+            if (served[first].oracle) {
+                corrections[first] = std::move(served[first].payload);
+                continue;
+            }
+            members.clear();
+            for (size_t i = first; i < served.size(); ++i) {
+                if (!grouped[i] && !served[i].oracle &&
+                    served[i].half == served[first].half &&
+                    served[i].tier_index == served[first].tier_index) {
+                    members.push_back(i);
+                    grouped[i] = 1;
+                }
+            }
+            std::vector<std::vector<DetectionEvent>> batch;
+            batch.reserve(members.size());
+            for (const size_t i : members) {
+                batch.push_back(events_from_syndrome(served[i].payload));
+            }
+            std::vector<TierChain::Result> results =
+                chains_[static_cast<size_t>(served[first].half)]
+                    .decode_batch_from(
+                        static_cast<size_t>(served[first].tier_index),
+                        batch, 1);
+            for (size_t i = 0; i < members.size(); ++i) {
+                corrections[members[i]] =
+                    std::move(results[i].decode.correction);
+            }
+        }
+        for (size_t i = 0; i < served.size(); ++i) {
+            inflight_.push_back(Delivery{served[i].owner, served[i].half,
+                                         std::move(corrections[i])});
+        }
+    }
+
+    // Land: hand back every correction whose latency elapsed.
+    landed_now_.clear();
+    for (uint64_t i = 0; i < sr.landed; ++i) {
+        landed_now_.push_back(inflight_.pop_front());
+    }
+    return landed_now_;
+}
+
+} // namespace btwc

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fifo.hpp"
+#include "core/offchip_queue.hpp"
+#include "decoders/tier_chain.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/**
+ * Multi-tenant off-chip decode service: one latency-L bandwidth-B
+ * link (`OffchipQueue`) shared by a whole fleet of `BtwcSystem`
+ * pipelines (§5 of the paper -- the machine has *one*
+ * fridge-to-room-temperature decoder, not one per logical qubit).
+ *
+ * Ownership inversion: a stand-alone `BtwcSystem` owns a private
+ * queue and services it inside its own `step()`; under the shared
+ * service the systems only *enqueue* tagged requests during their
+ * step, and the fleet harness advances the link exactly once per
+ * machine cycle via `step()`, after every tenant has stepped. Served
+ * batches therefore mix requests from different qubits, which is what
+ * makes `TierChain::decode_batch_from` amortization measurable at
+ * fleet scale: within one qubit, batches are bounded by the
+ * one-outstanding-request-per-half reconciliation contract
+ * (core/system.hpp), but N qubits escalating in the same cycle share
+ * one decoder invocation per lattice half.
+ *
+ * The service owns one `TierChain` per lattice half (indexed by error
+ * type, like `BtwcSystem`'s frames): every tenant of one machine runs
+ * the same code and chain configuration, and the chain's decoders are
+ * deterministic pure functions of the events, so decoding a request
+ * on the service-side chain is bit-identical to decoding it on the
+ * owner's private chain. Oracle-policy requests carry their
+ * correction in the payload and bypass the chains entirely.
+ *
+ * Scheduling is strict FIFO across owners. Combined with the
+ * one-outstanding-request-per-half contract (no tenant can occupy
+ * more than two link slots), this is round-robin fair: a narrow link
+ * serves qubits in their escalation order and no tenant can starve
+ * another (tested).
+ *
+ * With zero latency and unlimited bandwidth the shared service is
+ * bit-exact with the private-queue path: corrections land within the
+ * cycle that escalated them, after every tenant has stepped -- and
+ * since tenants never read each other's frames mid-cycle, the
+ * end-of-cycle machine state is identical (tested).
+ */
+class SharedOffchipService
+{
+  public:
+    /** One tagged escalation from a tenant pipeline. */
+    struct Request
+    {
+        int owner = 0;       ///< tenant (qubit) index, echoed in Delivery
+        int half = 0;        ///< tenant's frames_/halves_ index (error type)
+        int tier_index = 0;  ///< first off-chip tier (decode resume point)
+        /**
+         * True when `payload` already is the correction (the Oracle
+         * policy's escalation-time error snapshot); false when it is
+         * the filtered syndrome to decode when served.
+         */
+        bool oracle = false;
+        std::vector<uint8_t> payload;
+    };
+
+    /** A correction routed back to its owning tenant half. */
+    struct Delivery
+    {
+        int owner = 0;
+        int half = 0;
+        std::vector<uint8_t> correction;  ///< per-data-qubit flip mask
+    };
+
+    SharedOffchipService(const RotatedSurfaceCode &code,
+                         const TierChainConfig &tiers,
+                         OffchipQueueConfig link);
+
+    /**
+     * Add one escalation to the current cycle's fresh demand. Tenants
+     * call this from inside their `step()`; the request waits for
+     * link capacity behind every earlier request from any tenant.
+     */
+    void enqueue(Request request);
+
+    /**
+     * Advance the link one machine cycle: enqueue the fresh demand
+     * accumulated since the previous step, serve up to `bandwidth`
+     * waiting requests (decoding non-oracle ones batched per half
+     * across owners), and return every correction whose latency
+     * elapsed, in FIFO order. The caller routes each Delivery to
+     * `BtwcSystem::deliver_offchip_correction` on the owning tenant.
+     * The returned reference is valid until the next `step()`.
+     */
+    const std::vector<Delivery> &step();
+
+    /** The underlying link (stall/backlog/delay/batch accounting). */
+    const OffchipQueue &queue() const { return queue_; }
+
+    /** Requests enqueued or in flight whose correction has not landed. */
+    size_t pending() const { return waiting_.size() + inflight_.size(); }
+
+  private:
+    OffchipQueue queue_;
+    std::vector<TierChain> chains_;  ///< per half, indexed by error type
+    uint64_t fresh_ = 0;             ///< enqueued since the last step()
+    // Payload FIFOs in the same order as the queue's counting FIFOs:
+    // the per-cycle served/landed counts say how many entries to move.
+    HeadFifo<Request> waiting_;
+    HeadFifo<Delivery> inflight_;
+    std::vector<Delivery> landed_now_;
+};
+
+} // namespace btwc

@@ -127,6 +127,21 @@ BtwcSystem::step()
                 // the residual that re-escalates after the landing.
                 ++suppressed_;
                 ++report.suppressed;
+            } else if (shared_ != nullptr) {
+                // Shared-link tenancy: tag the request and hand it to
+                // the fleet's service; the link advances once per
+                // machine cycle in the harness, not here.
+                SharedOffchipService::Request request;
+                request.owner = owner_;
+                request.half = t;
+                request.tier_index = outcome.tier_index;
+                request.oracle = config_.offchip == OffchipPolicy::Oracle;
+                request.payload = request.oracle
+                                      ? frame.error()
+                                      : halves_[t].filter.filtered();
+                shared_->enqueue(std::move(request));
+                half_busy_[t] = true;
+                ++report.queued;
             } else {
                 PendingDecode request;
                 request.half = t;
@@ -150,13 +165,32 @@ BtwcSystem::step()
     // escalations (batched per decoder) and apply every correction
     // whose latency elapsed. With the default zero-latency unlimited-
     // bandwidth link this lands this cycle's own corrections, which
-    // reproduces the synchronous model bit-for-bit.
-    if (queued) {
+    // reproduces the synchronous model bit-for-bit. A shared-link
+    // tenant skips this: the fleet harness steps the shared service
+    // once per machine cycle after every tenant stepped, and landed
+    // corrections arrive via deliver_offchip_correction.
+    if (queued && shared_ == nullptr) {
         service_offchip(fresh, report);
     }
 
     ++cycles_;
     return report;
+}
+
+void
+BtwcSystem::attach_shared_service(SharedOffchipService *service, int owner)
+{
+    shared_ = service;
+    owner_ = owner;
+}
+
+void
+BtwcSystem::deliver_offchip_correction(
+    int half, const std::vector<uint8_t> &correction)
+{
+    frames_[static_cast<size_t>(half)].apply_mask(correction);
+    half_busy_[half] = false;
+    ++shared_landed_;
 }
 
 void
@@ -177,8 +211,7 @@ BtwcSystem::service_offchip(uint64_t fresh, CycleReport &report)
         std::vector<PendingDecode> served;
         served.reserve(sr.served);
         for (uint64_t i = 0; i < sr.served; ++i) {
-            served.push_back(std::move(waiting_.front()));
-            waiting_.erase(waiting_.begin());
+            served.push_back(waiting_.pop_front());
         }
         std::vector<std::vector<uint8_t>> corrections(served.size());
         for (size_t h = 0; h < halves_.size(); ++h) {
@@ -223,11 +256,10 @@ BtwcSystem::service_offchip(uint64_t fresh, CycleReport &report)
     // Land: apply every correction whose latency elapsed and free the
     // half for its next escalation.
     for (uint64_t i = 0; i < sr.landed; ++i) {
-        InflightCorrection &landing = inflight_.front();
+        const InflightCorrection landing = inflight_.pop_front();
         frames_[landing.half].apply_mask(landing.correction);
         half_busy_[landing.half] = false;
         ++report.landed;
-        inflight_.erase(inflight_.begin());
     }
     report.queue_backlog = queue_.backlog();
 }

@@ -4,10 +4,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/fifo.hpp"
 #include "common/rng.hpp"
 #include "core/clique.hpp"
 #include "core/filter.hpp"
 #include "core/offchip_queue.hpp"
+#include "core/offchip_service.hpp"
 #include "decoders/tier_chain.hpp"
 #include "surface/frame.hpp"
 #include "surface/lattice.hpp"
@@ -165,6 +167,31 @@ class BtwcSystem
     /** Advance one noisy cycle through the full pipeline. */
     CycleReport step();
 
+    /**
+     * Become tenant `owner` of a shared multi-tenant off-chip link
+     * (core/offchip_service.hpp): escalations are enqueued on
+     * `service` tagged with `owner` instead of on the private queue,
+     * and phase 3 is skipped -- the fleet harness advances the shared
+     * link once per machine cycle (after every tenant stepped) and
+     * routes landed corrections back via
+     * `deliver_offchip_correction`. The private `offchip_queue()`
+     * stays idle; link accounting lives on the service. Only
+     * meaningful under the Queued service, before the first step.
+     * With a zero-latency unlimited-bandwidth shared link the cycle
+     * statistics are bit-exact with the private-queue path (tested).
+     */
+    void attach_shared_service(SharedOffchipService *service, int owner);
+
+    /**
+     * Apply a correction the shared service routed back to `half`
+     * (error-type index) and free that half for its next escalation.
+     * Counterpart of the private path's landing step; the
+     * reconciliation contract (one outstanding request per half, no
+     * corrections while in flight) is identical.
+     */
+    void deliver_offchip_correction(int half,
+                                    const std::vector<uint8_t> &correction);
+
     /** Number of cycles executed. */
     uint64_t cycles() const { return cycles_; }
 
@@ -189,8 +216,14 @@ class BtwcSystem
     /** Requests enqueued or in flight whose correction has not landed. */
     size_t pending_offchip() const
     {
+        if (shared_ != nullptr) {
+            return (half_busy_[0] ? 1u : 0u) + (half_busy_[1] ? 1u : 0u);
+        }
         return waiting_.size() + inflight_.size();
     }
+
+    /** Corrections the shared service delivered to this tenant. */
+    uint64_t shared_landed() const { return shared_landed_; }
 
   private:
     struct Half
@@ -242,14 +275,20 @@ class BtwcSystem
     // Queued off-chip service state. `queue_` does the counting and
     // scheduling; `waiting_` / `inflight_` carry the payloads in the
     // same FIFO order, so the queue's per-cycle served/landed counts
-    // say exactly how many entries to move. Plain vectors: the
-    // at-most-one-outstanding-request-per-half contract bounds both
-    // at two entries, so erase-front is free.
+    // say exactly how many entries to move. (The at-most-one-
+    // outstanding-request-per-half contract bounds both at two
+    // entries.)
     OffchipQueue queue_;
-    std::vector<PendingDecode> waiting_;
-    std::vector<InflightCorrection> inflight_;
+    HeadFifo<PendingDecode> waiting_;
+    HeadFifo<InflightCorrection> inflight_;
     bool half_busy_[2] = {false, false};
     uint64_t suppressed_ = 0;
+
+    // Shared-link tenancy (attach_shared_service): non-null routes
+    // every escalation to the external service instead of `queue_`.
+    SharedOffchipService *shared_ = nullptr;
+    int owner_ = 0;
+    uint64_t shared_landed_ = 0;
 };
 
 } // namespace btwc

@@ -1,9 +1,14 @@
 #include "sim/fleet.hpp"
 
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "common/rng.hpp"
 #include "core/offchip_queue.hpp"
+#include "core/offchip_service.hpp"
 #include "core/stall.hpp"
 #include "sim/engine.hpp"
 #include "surface/lattice.hpp"
@@ -13,20 +18,72 @@ namespace btwc {
 namespace {
 
 /**
- * Block-parallel Binomial(n, q) demand stream for the serial
- * bandwidth/stall queue: the queue must consume demand cycle by cycle
- * (its backlog couples adjacent cycles), but the draws themselves are
- * independent, so worker threads prefill fixed-size blocks, one
- * contiguous chunk per persistent worker stream. Deterministic for a
- * fixed (seed, threads) pair; `threads <= 1` degenerates to drawing
- * straight off one stream, reproducing the historical sequence
- * bit-for-bit.
+ * The fleet's per-cycle demand distribution: Binomial(n, q) for the
+ * homogeneous model, Poisson-binomial for a heterogeneous
+ * `FleetConfig::qubit_probs` profile. Draws group qubits by
+ * probability (one binomial per distinct probability, summed), so the
+ * homogeneous case -- and a vector of all-equal entries -- stays a
+ * single `Rng::binomial` call, bit-exact with the historical stream.
+ */
+class DemandModel
+{
+  public:
+    explicit DemandModel(const FleetConfig &config)
+    {
+        if (config.qubit_probs.empty()) {
+            groups_.emplace_back(
+                static_cast<uint64_t>(config.num_qubits),
+                config.offchip_prob);
+            return;
+        }
+        if (config.qubit_probs.size() !=
+            static_cast<size_t>(config.num_qubits)) {
+            // A silently mismatched profile would model the wrong
+            // fleet (e.g. a copied config with only num_qubits
+            // rescaled); refuse loudly instead.
+            throw std::invalid_argument(
+                "FleetConfig::qubit_probs size (" +
+                std::to_string(config.qubit_probs.size()) +
+                ") != num_qubits (" +
+                std::to_string(config.num_qubits) + ")");
+        }
+        std::map<double, uint64_t> counts;
+        for (const double q : config.qubit_probs) {
+            ++counts[q];
+        }
+        groups_.reserve(counts.size());
+        for (const auto &[q, count] : counts) {
+            groups_.emplace_back(count, q);
+        }
+    }
+
+    uint64_t draw(Rng &rng) const
+    {
+        uint64_t total = 0;
+        for (const auto &[count, q] : groups_) {
+            total += rng.binomial(count, q);
+        }
+        return total;
+    }
+
+  private:
+    std::vector<std::pair<uint64_t, double>> groups_;  ///< (qubits, prob)
+};
+
+/**
+ * Block-parallel demand stream for the serial bandwidth/stall queue:
+ * the queue must consume demand cycle by cycle (its backlog couples
+ * adjacent cycles), but the draws themselves are independent, so
+ * worker threads prefill fixed-size blocks, one contiguous chunk per
+ * persistent worker stream. Deterministic for a fixed (seed, threads)
+ * pair; `threads <= 1` degenerates to drawing straight off one
+ * stream, reproducing the historical sequence bit-for-bit.
  */
 class DemandSource
 {
   public:
-    DemandSource(uint64_t n, double q, uint64_t seed, int threads)
-        : n_(n), q_(q), workers_(resolve_threads(threads))
+    DemandSource(DemandModel model, uint64_t seed, int threads)
+        : model_(std::move(model)), workers_(resolve_threads(threads))
     {
         Rng seeder(seed);
         if (workers_ <= 1) {
@@ -42,7 +99,7 @@ class DemandSource
     uint64_t next()
     {
         if (workers_ <= 1) {
-            return streams_[0].binomial(n_, q_);
+            return model_.draw(streams_[0]);
         }
         if (pos_ == buffer_.size()) {
             refill();
@@ -63,7 +120,7 @@ class DemandSource
                 uint64_t *out = buffer_.data() + kChunk * w;
                 Rng &rng = streams_[w];
                 for (size_t i = 0; i < kChunk; ++i) {
-                    out[i] = rng.binomial(n_, q_);
+                    out[i] = model_.draw(rng);
                 }
             });
         }
@@ -73,8 +130,7 @@ class DemandSource
         pos_ = 0;
     }
 
-    uint64_t n_;
-    double q_;
+    DemandModel model_;
     int workers_;
     std::vector<Rng> streams_;
     std::vector<uint64_t> buffer_;
@@ -83,20 +139,181 @@ class DemandSource
 
 } // namespace
 
+std::vector<double>
+hotspot_probs(int num_qubits, double q, double hot_fraction,
+              double hot_multiplier)
+{
+    std::vector<double> probs(static_cast<size_t>(num_qubits < 0
+                                                      ? 0
+                                                      : num_qubits),
+                              std::clamp(q, 0.0, 1.0));
+    if (hot_fraction <= 0.0 || probs.empty()) {
+        return probs;
+    }
+    const double hot_q = std::clamp(q * hot_multiplier, 0.0, 1.0);
+    size_t hot = static_cast<size_t>(hot_fraction *
+                                     static_cast<double>(probs.size()));
+    hot = std::clamp<size_t>(hot, 1, probs.size());
+    for (size_t i = 0; i < hot; ++i) {
+        probs[i] = hot_q;
+    }
+    return probs;
+}
+
 CountHistogram
 fleet_demand_histogram(const FleetConfig &config)
 {
+    const DemandModel model(config);
     return run_sharded<CountHistogram>(
         config.cycles, config.threads, config.seed,
-        [&config](const Shard &shard) {
+        [&model](const Shard &shard) {
             Rng rng(shard.seed);
             CountHistogram demand;
             for (uint64_t cycle = 0; cycle < shard.cycles; ++cycle) {
-                demand.add(
-                    rng.binomial(static_cast<uint64_t>(config.num_qubits),
-                                 config.offchip_prob));
+                demand.add(model.draw(rng));
             }
             return demand;
+        });
+}
+
+void
+ExactFleetStats::merge(const ExactFleetStats &other)
+{
+    demand.merge(other.demand);
+    queue_delay.merge(other.queue_delay);
+    batch_sizes.merge(other.batch_sizes);
+    backlog.merge(other.backlog);
+    stall_cycles += other.stall_cycles;
+    work_cycles += other.work_cycles;
+    max_backlog = std::max(max_backlog, other.max_backlog);
+    enqueued += other.enqueued;
+    served += other.served;
+    landed += other.landed;
+    suppressed += other.suppressed;
+    pending += other.pending;
+    if (per_qubit.size() < other.per_qubit.size()) {
+        per_qubit.resize(other.per_qubit.size());
+    }
+    for (size_t i = 0; i < other.per_qubit.size(); ++i) {
+        per_qubit[i].merge(other.per_qubit[i]);
+    }
+}
+
+double
+ExactFleetStats::exec_time_increase() const
+{
+    return stall_execution_time_increase(stall_cycles, work_cycles);
+}
+
+ExactFleetStats
+fleet_demand_exact_stats(const ExactFleetConfig &config)
+{
+    const RotatedSurfaceCode code(config.distance);
+    return run_sharded<ExactFleetStats>(
+        config.cycles, config.threads, config.seed,
+        [&](const Shard &shard) {
+            Rng seeder(shard.seed);
+            SystemConfig sconfig;
+            sconfig.offchip = config.offchip;
+            sconfig.tiers = config.tiers;
+            if (!config.shared_link) {
+                // Private queues carry the link parameters per qubit;
+                // under the shared link the tenants' own queues stay
+                // idle and the parameters live on the service.
+                sconfig.offchip_latency = config.offchip_latency;
+                sconfig.offchip_bandwidth = config.offchip_bandwidth;
+                sconfig.offchip_batch = config.offchip_batch;
+            }
+            std::vector<BtwcSystem> qubits;
+            qubits.reserve(static_cast<size_t>(config.num_qubits));
+            for (int q = 0; q < config.num_qubits; ++q) {
+                qubits.emplace_back(code, NoiseParams::uniform(config.p),
+                                    sconfig, seeder.next_u64());
+            }
+            std::optional<SharedOffchipService> service;
+            if (config.shared_link) {
+                service.emplace(
+                    code, config.tiers,
+                    OffchipQueueConfig{config.offchip_bandwidth,
+                                       config.offchip_latency,
+                                       config.offchip_batch});
+                for (size_t q = 0; q < qubits.size(); ++q) {
+                    qubits[q].attach_shared_service(&*service,
+                                                    static_cast<int>(q));
+                }
+            }
+            ExactFleetStats stats;
+            stats.per_qubit.resize(qubits.size());
+            for (uint64_t cycle = 0; cycle < shard.cycles; ++cycle) {
+                // Demand = qubits that shipped a fresh escalation this
+                // cycle. Counting `report.offchip` instead would
+                // re-count a half on every cycle its request is in
+                // flight (the escalated errors stay on the lattice
+                // and keep classifying off-chip), inflating demand
+                // ~(latency+1)x against the per-escalation binomial
+                // model; those re-flags are `suppressed`, not demand.
+                // At the synchronous L=0 point the two counts agree
+                // (a half is never busy when it classifies), which
+                // keeps the legacy histogram bit-exact.
+                uint64_t offchip = 0;
+                for (size_t q = 0; q < qubits.size(); ++q) {
+                    const CycleReport report = qubits[q].step();
+                    offchip += report.queued > 0 ? 1 : 0;
+                    QubitServiceStats &mine = stats.per_qubit[q];
+                    mine.enqueued += static_cast<uint64_t>(report.queued);
+                    mine.suppressed +=
+                        static_cast<uint64_t>(report.suppressed);
+                    if (!config.shared_link) {
+                        mine.landed +=
+                            static_cast<uint64_t>(report.landed);
+                    }
+                }
+                if (service) {
+                    // All tenants stepped: advance the shared link one
+                    // machine cycle and route the landings home.
+                    for (const SharedOffchipService::Delivery &landing :
+                         service->step()) {
+                        qubits[static_cast<size_t>(landing.owner)]
+                            .deliver_offchip_correction(
+                                landing.half, landing.correction);
+                        ++stats.per_qubit[static_cast<size_t>(
+                                              landing.owner)]
+                              .landed;
+                    }
+                    stats.backlog.add(service->queue().backlog());
+                }
+                stats.demand.add(offchip);
+            }
+            if (service) {
+                const OffchipQueue &link = service->queue();
+                stats.queue_delay = link.delay_histogram();
+                stats.batch_sizes = link.batch_histogram();
+                stats.stall_cycles = link.stall_cycles();
+                stats.work_cycles = link.work_cycles();
+                stats.max_backlog = link.max_backlog();
+                stats.enqueued = link.enqueued();
+                stats.served = link.served();
+                stats.landed = link.landed();
+                stats.pending = service->pending();
+            } else {
+                for (const BtwcSystem &qubit : qubits) {
+                    const OffchipQueue &link = qubit.offchip_queue();
+                    stats.queue_delay.merge(link.delay_histogram());
+                    stats.batch_sizes.merge(link.batch_histogram());
+                    stats.stall_cycles += link.stall_cycles();
+                    stats.work_cycles += link.work_cycles();
+                    stats.max_backlog =
+                        std::max(stats.max_backlog, link.max_backlog());
+                    stats.enqueued += link.enqueued();
+                    stats.served += link.served();
+                    stats.landed += link.landed();
+                    stats.pending += qubit.pending_offchip();
+                }
+            }
+            for (const QubitServiceStats &mine : stats.per_qubit) {
+                stats.suppressed += mine.suppressed;
+            }
+            return stats;
         });
 }
 
@@ -104,33 +321,20 @@ CountHistogram
 fleet_demand_exact(int distance, double p, int num_qubits, uint64_t cycles,
                    uint64_t seed, int threads)
 {
-    const RotatedSurfaceCode code(distance);
-    return run_sharded<CountHistogram>(
-        cycles, threads, seed, [&](const Shard &shard) {
-            Rng seeder(shard.seed);
-            std::vector<BtwcSystem> qubits;
-            qubits.reserve(static_cast<size_t>(num_qubits));
-            for (int q = 0; q < num_qubits; ++q) {
-                qubits.emplace_back(code, NoiseParams::uniform(p),
-                                    SystemConfig{}, seeder.next_u64());
-            }
-            CountHistogram demand;
-            for (uint64_t cycle = 0; cycle < shard.cycles; ++cycle) {
-                uint64_t offchip = 0;
-                for (BtwcSystem &qubit : qubits) {
-                    offchip += qubit.step().offchip ? 1 : 0;
-                }
-                demand.add(offchip);
-            }
-            return demand;
-        });
+    ExactFleetConfig config;
+    config.distance = distance;
+    config.p = p;
+    config.num_qubits = num_qubits;
+    config.cycles = cycles;
+    config.seed = seed;
+    config.threads = threads;
+    return fleet_demand_exact_stats(config).demand;
 }
 
 FleetRunResult
 run_fleet_with_bandwidth(const FleetConfig &config, uint64_t bandwidth)
 {
-    DemandSource demand(static_cast<uint64_t>(config.num_qubits),
-                        config.offchip_prob, config.seed, config.threads);
+    DemandSource demand(DemandModel(config), config.seed, config.threads);
     // The off-chip link as an async service (core/offchip_queue.hpp):
     // bandwidth-limited FIFO with `offchip_latency` cycles between a
     // decode entering service and its correction landing. Latency 0
@@ -174,6 +378,7 @@ run_fleet_with_bandwidth(const FleetConfig &config, uint64_t bandwidth)
 std::vector<TraceCycle>
 fleet_trace(const FleetConfig &config, uint64_t bandwidth)
 {
+    const DemandModel model(config);
     Rng rng(config.seed);
     StallController queue(bandwidth);
     std::vector<TraceCycle> trace;
@@ -182,8 +387,7 @@ fleet_trace(const FleetConfig &config, uint64_t bandwidth)
         TraceCycle entry;
         entry.carryover = queue.backlog();
         entry.stall = queue.stall_pending();
-        entry.fresh = rng.binomial(
-            static_cast<uint64_t>(config.num_qubits), config.offchip_prob);
+        entry.fresh = model.draw(rng);
         const uint64_t before = queue.served();
         queue.step(entry.fresh);
         entry.served = queue.served() - before;

@@ -25,6 +25,20 @@ struct FleetConfig
     uint64_t cycles = 1000000;
     double offchip_prob = 0.01;  ///< per-qubit per-cycle P(complex)
     /**
+     * Per-qubit off-chip probability overrides (hot spots, defective
+     * patches). Empty = the homogeneous `offchip_prob` model whose
+     * per-cycle demand is a single Binomial(num_qubits, q) draw
+     * (bit-exact with the historical sampler). Non-empty (size must
+     * equal `num_qubits`; a mismatch throws std::invalid_argument
+     * from the demand entry points) makes the demand
+     * Poisson-binomial: draws
+     * group qubits by probability and sum one binomial per group, so
+     * a vector of `num_qubits` equal entries reproduces the
+     * homogeneous stream bit-for-bit. Build hot-spot profiles with
+     * `hotspot_probs`.
+     */
+    std::vector<double> qubit_probs;
+    /**
      * Monte-Carlo engine shards (sim/engine.hpp): 1 = historical
      * single-threaded sampling (bit-exact), 0 = all hardware threads.
      * Demand histograms shard over cycles; the bandwidth/stall run
@@ -76,14 +90,122 @@ struct FleetRunResult
     double mean_batch = 0.0;  ///< mean served link-batch size (see OffchipQueue::batch_histogram)
 };
 
+/**
+ * Heterogeneous fleet profile: `hot_fraction` of the qubits (rounded
+ * down, at least one when the fraction is nonzero) run at
+ * `hot_multiplier * q` -- a hot spot or defective patch -- and the
+ * rest at the base q. Probabilities clamp to [0, 1]. Feed the result
+ * to `FleetConfig::qubit_probs`.
+ */
+std::vector<double> hotspot_probs(int num_qubits, double q,
+                                  double hot_fraction,
+                                  double hot_multiplier);
+
 /** Demand histogram from the binomial fleet model. */
 CountHistogram fleet_demand_histogram(const FleetConfig &config);
 
 /**
+ * Configuration of the exact (trace-driven) fleet: `num_qubits` full
+ * `BtwcSystem` pipelines stepped in lockstep. With `shared_link` every
+ * qubit's escalations route through one SharedOffchipService
+ * (core/offchip_service.hpp) -- the paper's actual machine, where real
+ * (non-binomial) demand contends for one latency/bandwidth-limited
+ * link; without it each qubit keeps a private queue with the same link
+ * parameters (the historical model, kept as the equivalence
+ * reference: at zero latency and unlimited bandwidth the two are
+ * bit-exact, tested).
+ */
+struct ExactFleetConfig
+{
+    int distance = 5;
+    double p = 1e-3;
+    int num_qubits = 10;
+    uint64_t cycles = 10000;
+    uint64_t seed = 1;
+    /** Monte-Carlo shards (sim/engine.hpp); each shard simulates an
+        independent fleet instance. threads <= 1 is bit-exact legacy. */
+    int threads = 1;
+    /** One shared link for the whole fleet instead of private queues. */
+    bool shared_link = false;
+    OffchipPolicy offchip = OffchipPolicy::Oracle;
+    TierChainConfig tiers = TierChainConfig::legacy();
+    /** Link parameters (cf. OffchipQueueConfig / SystemConfig). */
+    uint64_t offchip_latency = 0;
+    uint64_t offchip_bandwidth = 0;
+    uint64_t offchip_batch = 0;
+};
+
+/** Per-tenant counters of an exact fleet run (index = qubit). */
+struct QubitServiceStats
+{
+    uint64_t enqueued = 0;    ///< escalations handed to the link
+    uint64_t landed = 0;      ///< corrections routed back
+    uint64_t suppressed = 0;  ///< decodes deferred to an in-flight request
+
+    void merge(const QubitServiceStats &other)
+    {
+        enqueued += other.enqueued;
+        landed += other.landed;
+        suppressed += other.suppressed;
+    }
+};
+
+/**
+ * Aggregated observables of an exact fleet run. All counters are sums
+ * and all histograms bin-wise counts, so shard results `merge()`
+ * losslessly in the sharded Monte-Carlo engine (deterministic for a
+ * fixed (cycles, threads, seed) triple, like every sim/ harness).
+ */
+struct ExactFleetStats
+{
+    /** Per-cycle fresh off-chip demand: qubits that *shipped* an
+        escalation that cycle (the binomial model's event). Re-flags
+        of work already in flight are counted in `suppressed`, not
+        here -- so under latency or a narrow link this is throttled
+        demand, held back by the one-outstanding-request-per-half
+        contract. At the synchronous L=0 default it coincides with
+        the historical "classified off-chip" count bit-for-bit. */
+    CountHistogram demand;
+    /** Enqueue-to-landing delay of every landed correction. Shared
+        mode: the one link; private mode: merged across the per-qubit
+        queues (all-zero at the synchronous default). */
+    CountHistogram queue_delay;
+    /** Served link-batch sizes (see OffchipQueue::batch_histogram).
+        Shared mode mixes owners in one batch, so sizes above 1 appear
+        even though each tenant is bounded at one request per half. */
+    CountHistogram batch_sizes;
+    /** End-of-cycle shared-link backlog, one sample per cycle
+        (shared mode only; empty for private queues). */
+    CountHistogram backlog;
+    uint64_t stall_cycles = 0;  ///< link cycles that ended oversubscribed
+    uint64_t work_cycles = 0;
+    uint64_t max_backlog = 0;
+    uint64_t enqueued = 0;
+    uint64_t served = 0;
+    uint64_t landed = 0;
+    uint64_t suppressed = 0;  ///< reconciliation-contract deferrals
+    uint64_t pending = 0;     ///< outstanding when the run ended
+    std::vector<QubitServiceStats> per_qubit;
+
+    void merge(const ExactFleetStats &other);
+
+    /** Fig. 16 x-axis for the shared link (stalls / work cycles). */
+    double exec_time_increase() const;
+};
+
+/**
+ * Run the exact fleet and return the full service statistics. Shards
+ * the cycle budget over `config.threads` workers, each simulating an
+ * independent fleet instance (threads <= 1 reproduces the historical
+ * run bit-for-bit).
+ */
+ExactFleetStats fleet_demand_exact_stats(const ExactFleetConfig &config);
+
+/**
  * Demand histogram from fully simulated per-qubit pipelines (slow;
- * used for validating the binomial model at small scale). Shards the
- * cycle budget over `threads` workers, each simulating an independent
- * fleet instance (threads <= 1 reproduces the historical run).
+ * used for validating the binomial model at small scale). Convenience
+ * wrapper over `fleet_demand_exact_stats` with private queues at the
+ * synchronous default link.
  */
 CountHistogram fleet_demand_exact(int distance, double p, int num_qubits,
                                   uint64_t cycles, uint64_t seed,
