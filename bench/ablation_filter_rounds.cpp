@@ -26,7 +26,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "ablation_filter_rounds");
     const uint64_t cycles = bench_cycles(flags, 20000, 1000000);
     const uint64_t trials =
         static_cast<uint64_t>(flags.get_int("trials", 4000));
@@ -93,5 +94,9 @@ main(int argc, char **argv)
     std::printf("Expected shape: rounds=1 collapses coverage; rounds=2 "
                 "(paper) recovers it; more rounds nudge the LER toward "
                 "the baseline for ~linear DFF cost.\n");
-    return 0;
+    json.report().set("distance", distance);
+    json.report().set("p", p);
+    json.report().set("baseline_ler", baseline.ler());
+    json.add_table("sweep", table);
+    return json.finish();
 }

@@ -28,7 +28,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "ablation_hierarchy");
     const uint64_t cycles = bench_cycles(flags, 20000, 1000000);
     const int distance = static_cast<int>(flags.get_int("distance", 9));
     const double p = flags.get_double("p", 5e-3);
@@ -92,5 +93,9 @@ main(int argc, char **argv)
     std::printf("\nExpected shape: the UF tier cuts the MWPM fraction "
                 "by ~10x over the paper's two-level design at "
                 "negligible logical disagreement.\n");
-    return 0;
+    json.report().set("distance", distance);
+    json.report().set("p", p);
+    json.report().set("cycles", cycles);
+    json.add_table("sweep", table);
+    return json.finish();
 }

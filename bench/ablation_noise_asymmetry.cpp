@@ -24,7 +24,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "ablation_noise_asymmetry");
     const uint64_t cycles = bench_cycles(flags, 20000, 1000000);
     const uint64_t trials =
         static_cast<uint64_t>(flags.get_int("trials", 6000));
@@ -82,5 +83,9 @@ main(int argc, char **argv)
     std::printf("\nExpected shape: coverage falls as measurement noise "
                 "grows (filter stress); log-likelihood weights match or "
                 "beat unit weights, most visibly away from ratio 1.\n");
-    return 0;
+    json.report().set("distance", distance);
+    json.report().set("p_data", p_data);
+    json.report().set("trials", trials);
+    json.add_table("sweep", table);
+    return json.finish();
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "api/json_output.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "sim/fleet.hpp"
@@ -21,6 +22,8 @@ namespace btwc {
  *   --threads            Monte-Carlo worker shards (0 = all cores;
  *                        see threads_from_flags / sim/engine.hpp)
  *   --csv                emit CSV instead of the aligned table
+ *   --json PATH          also write the run as a JSON Report
+ *                        (api/json_output.hpp)
  */
 inline uint64_t
 bench_cycles(const Flags &flags, uint64_t dflt, uint64_t paper_scale)

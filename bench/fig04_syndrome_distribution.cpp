@@ -38,10 +38,13 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fig04");
     const uint64_t cycles = bench_cycles(flags, 20000, 1000000000ull);
     const uint64_t seed =
         static_cast<uint64_t>(flags.get_int("seed", 1));
+    json.report().set("cycles", cycles);
+    json.report().set("seed", seed);
 
     bench_header("Fig. 4: syndrome distribution",
                  "Columns: p / target LER (code distance); rows show "
@@ -75,5 +78,6 @@ main(int argc, char **argv)
     }
     std::printf("\nPaper check: trivial (All-0s + Local-1s) fraction "
                 ">90%% everywhere except the 5e-3/1e-12 column.\n");
-    return 0;
+    json.add_table("distribution", table);
+    return json.finish();
 }

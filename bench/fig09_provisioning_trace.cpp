@@ -27,7 +27,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fig09");
     const uint64_t seed =
         static_cast<uint64_t>(flags.get_int("seed", 1));
     const int distance = static_cast<int>(flags.get_int("distance", 11));
@@ -50,6 +51,9 @@ main(int argc, char **argv)
     std::printf("measured per-qubit off-chip probability q = %s "
                 "(d=%d, p=%g)\n\n",
                 Table::sci(q, 2).c_str(), distance, p);
+    json.report().set("distance", distance);
+    json.report().set("p", p);
+    json.report().set("q", q);
 
     FleetConfig fleet;
     fleet.num_qubits = 1000;
@@ -63,20 +67,31 @@ main(int argc, char **argv)
                 "bandwidth @99th percentile = %llu decodes/cycle\n\n",
                 static_cast<unsigned long long>(b50),
                 static_cast<unsigned long long>(b99));
+    json.report().set("bandwidth_p50", b50);
+    json.report().set("bandwidth_p99", b99);
 
     // Binomial vs real demand: the binomial model assumes per-qubit
     // independence with a single q; the exact fleet steps every
     // pipeline against one shared link and counts what actually
     // escalates. Both provisioned on the same percentile axis.
-    print_binomial_vs_real_demand(
+    const ExactFleetStats real_demand = print_binomial_vs_real_demand(
         distance, p, q, fleet_link_from_flags(flags, 50),
         static_cast<uint64_t>(flags.get_int("exact_cycles", 4000)), seed,
         lconfig.threads);
+    json.report().set("real_demand_mean", real_demand.demand.mean());
+    json.report().set("real_demand_p99",
+                      real_demand.demand.percentile(0.99));
 
     fleet.cycles = 100;
-    for (const auto &[label, bandwidth] :
-         {std::pair{"50th percentile", b50},
-          std::pair{"99th percentile", b99}}) {
+    struct TraceLeg
+    {
+        const char *label;
+        const char *json_key;
+        uint64_t bandwidth;
+    };
+    for (const TraceLeg &leg : {TraceLeg{"50th percentile", "trace_p50", b50},
+                                TraceLeg{"99th percentile", "trace_p99", b99}}) {
+        const uint64_t bandwidth = leg.bandwidth;
         const auto trace = fleet_trace(fleet, bandwidth);
         uint64_t stalls = 0;
         Table table({"cycle", "new", "carryover", "served", "stall"});
@@ -90,15 +105,20 @@ main(int argc, char **argv)
                                trace[t].stall ? "STALL" : ""});
             }
         }
-        std::printf("-- provisioning at the %s (B = %llu) --\n", label,
+        std::printf("-- provisioning at the %s (B = %llu) --\n",
+                    leg.label,
                     static_cast<unsigned long long>(bandwidth));
         if (flags.get_bool("full_trace")) {
             table.print();
         }
         std::printf("stall cycles in the 100-cycle window: %llu\n\n",
                     static_cast<unsigned long long>(stalls));
+        Report &trace_node = json.report().child(leg.json_key);
+        trace_node.set("bandwidth", bandwidth);
+        trace_node.set("stall_cycles", stalls);
+        trace_node.add_table("trace", table);
     }
     std::printf("Paper check: ~90+ stalls at the 50th percentile, "
                 "~0-2 at the 99th.\n");
-    return 0;
+    return json.finish();
 }

@@ -20,9 +20,12 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fig11");
     const uint64_t cycles = bench_cycles(flags, 20000, 1000000000ull);
     const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    json.report().set("cycles", cycles);
+    json.report().set("seed", seed);
     const auto distances =
         flags.get_int_list("distances", {3, 5, 7, 9, 11, 13, 15, 17, 21});
     const auto rates =
@@ -59,5 +62,6 @@ main(int argc, char **argv)
     }
     std::printf("\nPaper check: >=~70%% at (p=1e-2, d=21); ~100%% at "
                 "low p / low d; monotone in both.\n");
-    return 0;
+    json.add_table("coverage", table);
+    return json.finish();
 }

@@ -21,9 +21,12 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fig12");
     const uint64_t cycles = bench_cycles(flags, 20000, 1000000000ull);
     const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    json.report().set("cycles", cycles);
+    json.report().set("seed", seed);
     const auto distances =
         flags.get_int_list("distances", {3, 5, 7, 9, 11, 13, 15, 17, 21});
     const auto rates =
@@ -60,5 +63,6 @@ main(int argc, char **argv)
     }
     std::printf("\nPaper check: ~100%% near threshold at high d, so "
                 "all-zero filtering alone cannot replace Clique.\n");
-    return 0;
+    json.add_table("nonzero_onchip", table);
+    return json.finish();
 }

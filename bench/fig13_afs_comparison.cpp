@@ -51,9 +51,12 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fig13");
     const uint64_t cycles = bench_cycles(flags, 20000, 1000000000ull);
     const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    json.report().set("cycles", cycles);
+    json.report().set("seed", seed);
     const auto distances =
         flags.get_int_list("distances", {3, 5, 7, 9, 11, 13, 15, 17, 21});
     const auto rates = flags.get_double_list("rates", {5e-4, 1e-3, 5e-3});
@@ -91,5 +94,6 @@ main(int argc, char **argv)
     }
     std::printf("\nPaper check: clique_vs_afs between ~10x and ~10000x "
                 "across the sweep (Clique saturates >= 10x above AFS).\n");
-    return 0;
+    json.add_table("reduction", table);
+    return json.finish();
 }

@@ -21,7 +21,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fig14");
     const uint64_t max_trials = bench_trials(flags, 6000, 10000000);
     const uint64_t target_failures =
         static_cast<uint64_t>(flags.get_int("failures", 50));
@@ -52,6 +53,7 @@ main(int argc, char **argv)
             config.p = p;
             config.max_trials = max_trials;
             config.target_failures = target_failures;
+            config.threads = threads_from_flags(flags);
             config.seed = seed;
             const MemoryResult base =
                 run_memory_experiment(config, DecoderArm::MwpmOnly);
@@ -80,5 +82,9 @@ main(int argc, char **argv)
     std::printf("\nPaper check: CIs overlap for d<=7; small hybrid "
                 "penalty may appear at d=9/11; LER falls with d below "
                 "threshold.\n");
-    return 0;
+    json.report().set("max_trials", max_trials);
+    json.report().set("target_failures", target_failures);
+    json.report().set("seed", seed);
+    json.add_table("ler", table);
+    return json.finish();
 }

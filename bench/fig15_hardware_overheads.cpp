@@ -25,7 +25,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fig15");
     const int filter_rounds =
         static_cast<int>(flags.get_int("filter_rounds", 2));
     const auto distances =
@@ -71,6 +72,9 @@ main(int argc, char **argv)
     } else {
         table.print();
     }
+    json.report().set("filter_rounds", filter_rounds);
+    json.add_table("cells", cells);
+    json.add_table("overheads", table);
 
     const NisqPlusReference &nisq = nisq_plus_reference();
     if (at_d9.jj_count > 0) {
@@ -91,5 +95,5 @@ main(int argc, char **argv)
     std::printf("\nPaper check: ~10-500 uW across d=3..21, area under "
                 "~100 mm2, latency 0.1-0.3 ns, and order-10x gaps to "
                 "NISQ+ at d=9.\n");
-    return 0;
+    return json.finish();
 }

@@ -38,7 +38,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fig16");
     const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 1));
     const int threads = threads_from_flags(flags);
     const uint64_t measure_cycles = bench_cycles(flags, 20000, 1000000);
@@ -121,6 +122,14 @@ main(int argc, char **argv)
             table.print();
         }
         std::printf("\n");
+        Report &point_node = json.report().child(
+            "p" + Table::sci(point.p, 0) + "_d" +
+            std::to_string(point.distance));
+        point_node.set("p", point.p);
+        point_node.set("distance", point.distance);
+        point_node.set("q", q);
+        point_node.set("mean_demand", demand.mean());
+        point_node.add_table("sweep", table);
 
         if (flags.get_bool("real-demand", true)) {
             const FleetLinkFlags link = fleet_link_from_flags(flags, 32);
@@ -160,10 +169,21 @@ main(int argc, char **argv)
                         narrow.batch_sizes.mean(),
                         static_cast<unsigned long long>(
                             narrow.suppressed));
+            Report &shared_node = point_node.child("shared_link_p99");
+            shared_node.set("bandwidth", exact.offchip_bandwidth);
+            shared_node.set("stall_cycles", narrow.stall_cycles);
+            shared_node.set("exec_time_increase",
+                            narrow.exec_time_increase());
+            shared_node.set("mean_backlog", narrow.backlog.mean());
+            shared_node.set("p99_queue_delay",
+                            narrow.queue_delay.percentile(0.99));
+            shared_node.set("mean_link_batch", narrow.batch_sizes.mean());
+            shared_node.set("suppressed", narrow.suppressed);
+            shared_node.set("real_demand_mean", real.demand.mean());
         }
     }
     std::printf("Paper check: mean provisioning diverges; high "
                 "percentiles give large reductions at <=10%% runtime "
                 "increase (paper quotes 8.5-150x depending on p/d).\n");
-    return 0;
+    return json.finish();
 }

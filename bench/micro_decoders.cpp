@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -238,4 +240,51 @@ BENCHMARK(BM_ExactDecodeSyndrome)->Arg(5)->Arg(9);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so the repo-wide `--json <path>` convention works here
+ * too: it is rewritten into google-benchmark's native
+ * `--benchmark_out=<path> --benchmark_out_format=json` pair before
+ * benchmark::Initialize consumes argv.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    args.reserve(static_cast<size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string path;
+        if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+        } else if (arg == "--json" && i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            path = argv[++i];
+        } else {
+            // A bare --json (no path) falls through untranslated and
+            // is rejected by ReportUnrecognizedArguments below.
+            args.push_back(arg);
+            continue;
+        }
+        if (path.empty() || path == "true") {
+            std::fprintf(stderr, "--json requires a path "
+                                 "(e.g. --json out.json)\n");
+            return 2;
+        }
+        args.push_back("--benchmark_out=" + path);
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char *> argv_rewritten;
+    argv_rewritten.reserve(args.size());
+    for (std::string &arg : args) {
+        argv_rewritten.push_back(arg.data());
+    }
+    int argc_rewritten = static_cast<int>(argv_rewritten.size());
+    benchmark::Initialize(&argc_rewritten, argv_rewritten.data());
+    if (benchmark::ReportUnrecognizedArguments(argc_rewritten,
+                                               argv_rewritten.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

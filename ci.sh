@@ -3,7 +3,9 @@
 # Release (-DNDEBUG) ctest leg so assert-stripped builds run the full
 # suite (runtime-counted invariants like
 # MemoryResult::unclear_syndromes are exercised where asserts are
-# gone), plus Release-mode smoke runs of the examples.
+# gone), Release-mode smoke runs of the examples, and a btwc_run
+# scenario leg that validates the unified JSON Report and archives it
+# as BENCH_scenario.json.
 #
 #   ./ci.sh            # full verify + Release suite + smoke
 #   ./ci.sh --verify   # tier-1 verify only
@@ -24,6 +26,7 @@ grep -Fq "${TIER1}" README.md || {
     exit 1
 }
 test -f src/core/README.md || { echo "src/core/README.md missing" >&2; exit 1; }
+test -f src/api/README.md || { echo "src/api/README.md missing" >&2; exit 1; }
 echo "docs OK"
 
 echo
@@ -62,5 +65,36 @@ echo "== Release smoke: shared-link fleet provisioning =="
 ./build-release/fleet_provisioning --shared-link --fleet-size 12 \
     --distance 5 --p 0.006 --qubits 200 --cycles 4000 \
     --exact_cycles 1500 --hot-fraction 0.1 --hot-mult 8
+echo
+echo "== scenario API: btwc_run -> BENCH_scenario.json =="
+# Run a fast registry scenario through the unified front door and
+# archive its machine-readable Report — the seed of the BENCH_* perf
+# trajectory. The JSON must parse and carry the schema's three
+# required top-level sections.
+./build-release/btwc_run quick --threads 0 --json BENCH_scenario.json \
+    > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+with open("BENCH_scenario.json") as f:
+    data = json.load(f)
+for key in ("scenario", "config", "metrics"):
+    assert key in data, f"BENCH_scenario.json missing '{key}'"
+assert data["scenario"]["kind"] == "lifetime", data["scenario"]
+assert data["metrics"]["cycles"] > 0, data["metrics"]
+print("BENCH_scenario.json OK "
+      f"(kind={data['scenario']['kind']}, "
+      f"cycles={data['metrics']['cycles']})")
+EOF
+else
+    # No python3: structural grep fallback on the stable key order.
+    for key in '"scenario"' '"config"' '"metrics"' '"cycles"'; do
+        grep -Fq "${key}" BENCH_scenario.json || {
+            echo "BENCH_scenario.json missing ${key}" >&2
+            exit 1
+        }
+    done
+    echo "BENCH_scenario.json OK (grep fallback)"
+fi
 echo
 echo "CI OK"

@@ -26,6 +26,8 @@
 
 #include <cstdio>
 
+#include "api/json_output.hpp"
+#include "api/run.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "sim/fleet.hpp"
@@ -35,7 +37,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "fleet_provisioning");
     const int distance = static_cast<int>(flags.get_int("distance", 11));
     const double p = flags.get_double("p", 1e-3);
     const int qubits = static_cast<int>(flags.get_int("qubits", 1000));
@@ -115,6 +118,14 @@ main(int argc, char **argv)
                        ok ? "yes" : "no"});
     }
     table.print();
+    json.report().set("distance", distance);
+    json.report().set("p", p);
+    json.report().set("qubits", qubits);
+    json.report().set("q", q);
+    json.report().set("budget", budget);
+    json.report().set("chosen_bandwidth", chosen);
+    json.report().set("chosen_reduction", chosen_reduction);
+    json.add_table("provisioning", table);
 
     if (chosen) {
         std::printf("\n=> provision %llu decodes/cycle: %.0fx less "
@@ -180,6 +191,10 @@ main(int argc, char **argv)
         std::printf("(served batches mix owners: one decode_batch call "
                     "amortizes graph setup across the whole fleet's "
                     "same-cycle escalations)\n");
+        Report &shared_node = json.report().child("shared_link");
+        shared_node.set("fleet_size", link.fleet_size);
+        shared_node.child("real") = exact_fleet_metrics_report(real);
+        shared_node.add_table("percentile_sweep", shared);
     }
-    return 0;
+    return json.finish();
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "api/json_output.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "sfq/clique_circuit.hpp"
@@ -22,7 +23,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "hardware_report");
     const int distance = static_cast<int>(flags.get_int("distance", 9));
     const int max_rounds =
         static_cast<int>(flags.get_int("max_rounds", 4));
@@ -69,5 +71,9 @@ main(int argc, char **argv)
     std::printf("\nExtra filter rounds buy measurement-error robustness "
                 "(Fig. 14's d=9/11 gap) at the marginal cost shown "
                 "above -- the paper's §4.3/§7.3 trade-off.\n");
-    return 0;
+    json.report().set("distance", distance);
+    json.report().set("qubits_per_watt",
+                      static_cast<int64_t>(1.0 / op.power_w(synth)));
+    json.add_table("rounds_sweep", table);
+    return json.finish();
 }

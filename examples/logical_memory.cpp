@@ -10,6 +10,8 @@
 
 #include <cstdio>
 
+#include "api/json_output.hpp"
+#include "api/run.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "sim/memory.hpp"
@@ -18,7 +20,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "logical_memory");
 
     MemoryConfig config;
     config.distance = static_cast<int>(flags.get_int("distance", 5));
@@ -27,6 +30,7 @@ main(int argc, char **argv)
         static_cast<uint64_t>(flags.get_int("trials", 20000));
     config.target_failures =
         static_cast<uint64_t>(flags.get_int("failures", 200));
+    config.threads = threads_from_flags(flags);
     config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
 
     std::printf("logical memory: d=%d, p=%g, %d noisy rounds + 1 "
@@ -39,6 +43,8 @@ main(int argc, char **argv)
          {DecoderArm::MwpmOnly, DecoderArm::CliqueMwpm,
           DecoderArm::UnionFindOnly}) {
         const MemoryResult result = run_memory_experiment(config, arm);
+        json.report().child(decoder_arm_name(arm)) =
+            memory_metrics_report(result);
         const auto [lo, hi] = result.ler_interval();
         const double offchip =
             result.total_rounds == 0
@@ -61,5 +67,6 @@ main(int argc, char **argv)
     table.print();
     std::printf("\nThe clique+mwpm row should sit on top of the mwpm "
                 "row (Fig. 14) while keeping most rounds on-chip.\n");
-    return 0;
+    json.add_table("arms", table);
+    return json.finish();
 }

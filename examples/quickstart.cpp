@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "api/json_output.hpp"
 #include "common/flags.hpp"
 #include "core/clique.hpp"
 #include "core/system.hpp"
@@ -27,7 +28,8 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
+    JsonOutput json(flags, "quickstart");
     const int d = static_cast<int>(flags.get_int("distance", 5));
     const double p = flags.get_double("p", 3e-3);
     const int cycles = static_cast<int>(flags.get_int("cycles", 2000));
@@ -144,5 +146,20 @@ main(int argc, char **argv)
                 offchip.bandwidth == 0
                     ? "unlimited"
                     : std::to_string(offchip.bandwidth).c_str());
-    return 0;
+    Report &report = json.report();
+    report.set("distance", d);
+    report.set("p", p);
+    report.set("cycles", cycles);
+    Report &pipeline = report.child("pipeline");
+    pipeline.set("all_zero_cycles", zeros);
+    pipeline.set("trivial_cycles", trivial);
+    pipeline.set("complex_cycles", complex_cycles);
+    pipeline.set("offchip_bandwidth_eliminated",
+                 1.0 - static_cast<double>(complex_cycles) / cycles);
+    Report &service = report.child("service");
+    service.set("landed", queue.landed());
+    service.set("mean_queue_delay", queue.delay_histogram().mean());
+    service.set("latency", offchip.latency);
+    service.set("bandwidth", offchip.bandwidth);
+    return json.finish();
 }

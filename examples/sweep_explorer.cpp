@@ -5,6 +5,14 @@
  * exploring operating points that the fixed-figure benches don't
  * sweep.
  *
+ * The lifetime / memory / fleet / exact-fleet commands are thin
+ * wrappers over the src/api layer: flags build a `ScenarioSpec`
+ * (`ScenarioSpec::from_flags`), `run_scenario` runs it, and the
+ * uniform `Report` is rendered as a metric table (and as JSON with
+ * `--json PATH`). `btwc_run` accepts the same grammar plus named
+ * registry scenarios; this binary keeps the historical per-experiment
+ * defaults and the hierarchy / hardware extras.
+ *
  *     ./sweep_explorer lifetime  --distance 9 --p 0.005 --cycles 50000
  *     ./sweep_explorer lifetime  --distance 21 --p 0.001 --cycles 200000
  *                                --tiers clique,uf,mwpm --threads 8
@@ -13,6 +21,8 @@
  *     ./sweep_explorer memory    --distance 7 --p 0.008 --p_meas 0.016
  *                                --weighted --trials 20000
  *     ./sweep_explorer fleet     --qubits 2000 --q 0.004 --bandwidth 12
+ *     ./sweep_explorer exact-fleet --fleet-size 12 --shared-link
+ *                                --offchip-bandwidth 1 --cycles 3000
  *     ./sweep_explorer hierarchy --distance 11 --p 0.01 --threshold 2
  *     ./sweep_explorer hardware  --distance 13 --filter_rounds 3
  */
@@ -20,14 +30,16 @@
 #include <cstdio>
 #include <string>
 
+#include "api/json_output.hpp"
+#include "api/run.hpp"
+#include "api/scenario.hpp"
 #include "common/flags.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
-#include "core/hierarchy.hpp"
+#include "decoders/tier_chain.hpp"
 #include "sfq/clique_circuit.hpp"
 #include "sfq/cost.hpp"
 #include "sfq/synth.hpp"
-#include "sim/fleet.hpp"
-#include "sim/lifetime.hpp"
 #include "sim/memory.hpp"
 #include "surface/frame.hpp"
 
@@ -35,88 +47,70 @@ namespace {
 
 using namespace btwc;
 
+/**
+ * Build the command's spec: per-command historical defaults, then
+ * every recognized flag layered on top. Exits(2) on a malformed
+ * value — the CLI counterpart of the library's status contract.
+ */
+ScenarioSpec
+spec_or_exit(const Flags &flags, const ScenarioSpec &defaults)
+{
+    ScenarioSpec spec = defaults;
+    std::string error;
+    if (!spec.apply_flags(flags, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        std::exit(2);
+    }
+    return spec;
+}
+
+/** Run a spec, print the uniform metric table, honor --json. */
+int
+run_and_render(const Flags &flags, const ScenarioSpec &spec)
+{
+    JsonOutput json(flags, "sweep_explorer");
+    Report report = run_scenario(spec);
+    if (flags.get_bool("csv")) {
+        std::fputs(report.csv().c_str(), stdout);
+    } else {
+        std::printf("== %s ==\n\n", spec.to_string().c_str());
+        report.to_table().print();
+    }
+    json.report().child("result") = std::move(report);
+    return json.finish();
+}
+
 int
 run_lifetime_cmd(const Flags &flags)
 {
-    LifetimeConfig config;
-    config.distance = static_cast<int>(flags.get_int("distance", 9));
-    config.p = flags.get_double("p", 5e-3);
-    config.p_meas = flags.get_double("p_meas", -1.0);
-    config.cycles = static_cast<uint64_t>(flags.get_int("cycles", 50000));
-    config.filter_rounds =
-        static_cast<int>(flags.get_int("filter_rounds", 2));
-    config.mode = flags.get_bool("pipeline") ? LifetimeMode::Pipeline
-                                             : LifetimeMode::Signature;
-    config.tiers = tiers_from_flags(
-        flags, "clique,mwpm",
-        static_cast<int>(flags.get_int("uf_threshold", 2)));
-    config.offchip = flags.get_bool("real_offchip") ? OffchipPolicy::Mwpm
-                                                    : OffchipPolicy::Oracle;
-    const OffchipServiceFlags offchip = offchip_from_flags(flags);
-    config.offchip_latency = offchip.latency;
-    config.offchip_bandwidth = offchip.bandwidth;
-    config.offchip_batch = offchip.batch;
-    config.threads = threads_from_flags(flags);
-    config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
-    const LifetimeStats stats = run_lifetime(config);
-
-    Table table({"metric", "value"});
-    table.add_row({"mode", flags.get_bool("pipeline") ? "pipeline"
-                                                      : "signature"});
-    table.add_row({"tiers", config.tiers.describe()});
-    table.add_row({"threads", std::to_string(config.threads)});
-    table.add_row({"cycles", std::to_string(stats.cycles)});
-    table.add_row({"coverage_per_decode_%",
-                   Table::num(100.0 * stats.coverage_per_decode(), 3)});
-    table.add_row({"coverage_per_qubit_cycle_%",
-                   Table::num(100.0 * stats.coverage(), 3)});
-    table.add_row({"onchip_nonzero_%",
-                   Table::num(100.0 * stats.onchip_nonzero_fraction(), 3)});
-    table.add_row({"offchip_per_cycle_%",
-                   Table::num(100.0 * stats.offchip_fraction(), 4)});
-    table.add_row({"midtier_absorption_%",
-                   Table::num(100.0 * stats.midtier_absorption(), 3)});
-    table.add_row({"clique_data_reduction_x",
-                   Table::num(stats.clique_data_reduction(), 1)});
-    table.add_row({"mean_raw_syndrome_weight",
-                   Table::num(stats.raw_weight.mean(), 3)});
-    if (config.mode == LifetimeMode::Pipeline &&
-        (offchip.latency > 0 || offchip.bandwidth > 0)) {
-        // Async off-chip service observables (queued escalations).
-        table.add_row({"offchip_landed",
-                       std::to_string(stats.offchip_queue_delay.total())});
-        table.add_row({"offchip_suppressed",
-                       std::to_string(stats.suppressed_escalations)});
-        table.add_row({"offchip_pending_at_end",
-                       std::to_string(stats.pending_offchip)});
-        table.add_row({"mean_queue_delay_cycles",
-                       Table::num(stats.offchip_queue_delay.mean(), 2)});
-        table.add_row(
-            {"p99_queue_delay_cycles",
-             std::to_string(stats.offchip_queue_delay.percentile(0.99))});
-        table.add_row({"mean_link_batch",
-                       Table::num(stats.offchip_batch_sizes.mean(), 2)});
-    }
-    table.print();
-    return 0;
+    ScenarioSpec defaults;
+    defaults.kind = ScenarioKind::Lifetime;
+    defaults.code.distance = 9;
+    defaults.code.p = 5e-3;
+    defaults.engine.cycles = 50000;
+    return run_and_render(flags, spec_or_exit(flags, defaults));
 }
 
 int
 run_memory_cmd(const Flags &flags)
 {
-    MemoryConfig config;
-    config.distance = static_cast<int>(flags.get_int("distance", 7));
-    config.p = flags.get_double("p", 8e-3);
-    config.p_meas = flags.get_double("p_meas", -1.0);
-    config.max_trials =
-        static_cast<uint64_t>(flags.get_int("trials", 20000));
-    config.target_failures =
-        static_cast<uint64_t>(flags.get_int("failures", 200));
-    config.filter_rounds =
-        static_cast<int>(flags.get_int("filter_rounds", 2));
-    config.weighted_matching = flags.get_bool("weighted");
-    config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+    ScenarioSpec defaults;
+    defaults.kind = ScenarioKind::Memory;
+    defaults.code.distance = 7;
+    defaults.code.p = 8e-3;
+    defaults.engine.trials = 20000;
+    defaults.engine.target_failures = 200;
+    ScenarioSpec spec = spec_or_exit(flags, defaults);
+    if (flags.has("arm")) {
+        // A single named arm: the uniform single-scenario rendering.
+        return run_and_render(flags, spec);
+    }
 
+    // Historical behavior: compare all three decoder arms on the same
+    // configuration (the adapter keeps them bit-identical with a
+    // direct legacy-config call).
+    JsonOutput json(flags, "sweep_explorer");
+    const MemoryConfig config = spec.to_memory_config();
     Table table({"decoder", "trials", "failures", "LER", "95%_CI"});
     for (const DecoderArm arm :
          {DecoderArm::MwpmOnly, DecoderArm::CliqueMwpm,
@@ -132,61 +126,51 @@ run_memory_cmd(const Flags &flags)
                        std::to_string(result.trials),
                        std::to_string(result.failures),
                        Table::sci(result.ler(), 2), std::move(ci)});
+        json.report().child(decoder_arm_name(arm)) =
+            memory_metrics_report(result);
     }
-    table.print();
-    return 0;
+    if (flags.get_bool("csv")) {
+        std::fputs(table.to_csv().c_str(), stdout);
+    } else {
+        table.print();
+    }
+    json.add_table("arms", table);
+    return json.finish();
 }
 
 int
 run_fleet_cmd(const Flags &flags)
 {
-    FleetConfig config;
-    config.num_qubits = static_cast<int>(flags.get_int("qubits", 1000));
-    config.offchip_prob = flags.get_double("q", 4e-3);
-    config.cycles =
-        static_cast<uint64_t>(flags.get_int("cycles", 200000));
-    config.threads = threads_from_flags(flags);
-    config.seed = static_cast<uint64_t>(flags.get_int("seed", 1));
-    const OffchipServiceFlags offchip = offchip_from_flags(flags);
-    config.offchip_latency = offchip.latency;
-    config.offchip_batch = offchip.batch;
-    // --bandwidth is this command's historical spelling; the shared
-    // --offchip-bandwidth convention (common/flags.hpp) is honored
-    // when it is the only one given. Its "0 = unlimited" meaning has
-    // no counterpart in the provisioned-link stall model, so an
-    // explicit 0 falls back to the default like an absent flag.
-    uint64_t bandwidth = 10;
-    if (flags.has("bandwidth")) {
-        bandwidth = static_cast<uint64_t>(flags.get_int("bandwidth", 10));
-    } else if (offchip.bandwidth > 0) {
-        bandwidth = offchip.bandwidth;
+    ScenarioSpec defaults;
+    defaults.kind = ScenarioKind::Fleet;
+    defaults.service.offchip_prob = 4e-3;
+    defaults.service.bandwidth = 10;  // historical provisioned default
+    defaults.engine.cycles = 200000;
+    ScenarioSpec spec = spec_or_exit(flags, defaults);
+    // Historical contract of this command: "0 = unlimited" has no
+    // counterpart in the provisioned-link stall model, so an explicit
+    // --bandwidth 0 falls back to the default like an absent flag
+    // (use `btwc_run "kind=fleet,..."` for a demand-only histogram).
+    if (spec.service.bandwidth == 0) {
+        spec.service.bandwidth = defaults.service.bandwidth;
     }
-    const FleetRunResult run = run_fleet_with_bandwidth(config, bandwidth);
+    return run_and_render(flags, spec);
+}
 
-    Table table({"metric", "value"});
-    table.add_row({"bandwidth_decodes_per_cycle",
-                   std::to_string(run.bandwidth)});
-    table.add_row({"bandwidth_reduction_x",
-                   Table::num(run.bandwidth_reduction, 1)});
-    table.add_row({"work_cycles", std::to_string(run.work_cycles)});
-    table.add_row({"stall_cycles", std::to_string(run.stall_cycles)});
-    table.add_row({"max_backlog", std::to_string(run.max_backlog)});
-    table.add_row({"exec_time_increase_%",
-                   run.work_cycles < config.cycles
-                       ? "diverges"
-                       : Table::num(100.0 * run.exec_time_increase, 3)});
-    table.add_row({"mean_queue_delay_cycles",
-                   Table::num(run.mean_queue_delay, 2)});
-    table.add_row({"p99_queue_delay_cycles",
-                   std::to_string(run.p99_queue_delay)});
-    table.add_row({"mean_link_batch", Table::num(run.mean_batch, 2)});
-    table.print();
-    return 0;
+int
+run_exact_fleet_cmd(const Flags &flags)
+{
+    ScenarioSpec defaults;
+    defaults.kind = ScenarioKind::ExactFleet;
+    defaults.service.fleet_size = 10;
+    defaults.engine.cycles = 5000;
+    return run_and_render(flags, spec_or_exit(flags, defaults));
 }
 
 int
 run_hierarchy_cmd(const Flags &flags)
 {
+    JsonOutput json(flags, "sweep_explorer");
     const int distance = static_cast<int>(flags.get_int("distance", 11));
     const double p = flags.get_double("p", 1e-2);
     const uint64_t cycles =
@@ -217,12 +201,16 @@ run_hierarchy_cmd(const Flags &flags)
                        Table::num(100.0 * tiers[t] / cycles, 3)});
     }
     table.print();
-    return 0;
+    json.report().set("chain", chain_config.describe());
+    json.report().set("cycles", cycles);
+    json.add_table("tiers", table);
+    return json.finish();
 }
 
 int
 run_hardware_cmd(const Flags &flags)
 {
+    JsonOutput json(flags, "sweep_explorer");
     const int distance = static_cast<int>(flags.get_int("distance", 9));
     const int rounds = static_cast<int>(flags.get_int("filter_rounds", 2));
     const RotatedSurfaceCode code(distance);
@@ -241,7 +229,8 @@ run_hardware_cmd(const Flags &flags)
                    Table::num(synth.critical_path_ps / 1000.0, 4)});
     table.add_row({"logic_depth", std::to_string(synth.logic_depth)});
     table.print();
-    return 0;
+    json.add_table("hardware", table);
+    return json.finish();
 }
 
 } // namespace
@@ -250,7 +239,7 @@ int
 main(int argc, char **argv)
 {
     using namespace btwc;
-    const Flags flags(argc, argv);
+    const Flags flags = flags_or_exit(argc, argv);
     const std::string experiment =
         flags.positional().empty() ? "lifetime" : flags.positional()[0];
     if (experiment == "lifetime") {
@@ -262,6 +251,9 @@ main(int argc, char **argv)
     if (experiment == "fleet") {
         return run_fleet_cmd(flags);
     }
+    if (experiment == "exact-fleet") {
+        return run_exact_fleet_cmd(flags);
+    }
     if (experiment == "hierarchy") {
         return run_hierarchy_cmd(flags);
     }
@@ -270,7 +262,7 @@ main(int argc, char **argv)
     }
     std::fprintf(stderr,
                  "unknown experiment '%s'; one of: lifetime, memory, "
-                 "fleet, hierarchy, hardware\n",
+                 "fleet, exact-fleet, hierarchy, hardware\n",
                  experiment.c_str());
     return 1;
 }

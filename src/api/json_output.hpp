@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "api/report.hpp"
+#include "common/flags.hpp"
+
+namespace btwc {
+
+/**
+ * The shared `--json <path>` convention of every bench and example
+ * binary: the binary keeps printing its human-readable tables to
+ * stdout and, when the flag is given, additionally accumulates a
+ * Report (scalars + its Tables) and writes it as JSON on exit.
+ *
+ *     JsonOutput json(flags, "fig04");
+ *     ...
+ *     json.report().set("q", q);
+ *     json.add_table("distribution", table);
+ *     return json.finish();   // 0, or 1 on an unwritable path
+ *
+ * Construction is cheap and accumulation is unconditional (the
+ * Report doubles as the machine-readable result even when unwritten),
+ * so call sites need no `if (json.enabled())` guards.
+ */
+class JsonOutput
+{
+  public:
+    JsonOutput(const Flags &flags, const char *binary)
+        : path_(flags.get("json", ""))
+    {
+        report_.set("binary", binary);
+    }
+
+    /** The accumulating report (top-level "binary" key preset). */
+    Report &report() { return report_; }
+
+    /** Shorthand for report().add_table(key, table). */
+    void add_table(const std::string &key, const Table &table)
+    {
+        report_.add_table(key, table);
+    }
+
+    /** True when `--json` was given. */
+    bool enabled() const { return !path_.empty(); }
+
+    /**
+     * Write the report if `--json` was given. Returns the process
+     * exit code: 0; 1 with a stderr diagnostic when the path is
+     * unwritable; 2 for a bare `--json` with no path (the valueless
+     * flag parses as the string "true", which would otherwise
+     * silently create a file literally named `true`). So
+     * `return json.finish();` ends every main.
+     */
+    int finish() const
+    {
+        if (path_.empty()) {
+            return 0;
+        }
+        if (path_ == "true") {
+            std::fprintf(stderr, "--json requires a path "
+                                 "(e.g. --json out.json)\n");
+            return 2;
+        }
+        std::string error;
+        if (!write_report_json(report_, path_, &error)) {
+            std::fprintf(stderr, "--json: %s\n", error.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+  private:
+    Report report_;
+    std::string path_;
+};
+
+} // namespace btwc

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/scenario.hpp"
+
+namespace btwc {
+
+/**
+ * One named, curated operating point of the paper's evaluation grid.
+ * The spec string is the full description (ScenarioSpec grammar);
+ * `btwc_run <name>` runs it, CLI flags layer overrides on top, and
+ * tests/test_api.cpp proves every entry bit-exact with the legacy
+ * config path. Registry entries default to laptop-scale Monte-Carlo
+ * volumes; raise `cycles=` / `trials=` for paper-scale statistics.
+ */
+struct NamedScenario
+{
+    const char *name;
+    const char *description;
+    const char *spec;
+};
+
+/** All named scenarios, in display order. */
+const std::vector<NamedScenario> &scenario_registry();
+
+/**
+ * Resolve `name` against the registry and parse its spec. Returns
+ * false with a diagnostic (unknown name, listing the known ones) when
+ * absent; never terminates the process.
+ */
+bool find_scenario(const std::string &name, ScenarioSpec *out,
+                   std::string *error);
+
+} // namespace btwc

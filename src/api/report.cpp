@@ -1,0 +1,443 @@
+#include "api/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace btwc {
+
+namespace {
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string
+json_escape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() + 2);
+    for (const char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+format_double(double v)
+{
+    if (std::isnan(v)) {
+        return "nan";
+    }
+    if (std::isinf(v)) {
+        return v > 0 ? "inf" : "-inf";
+    }
+    char buf[64];
+    // Shortest %g form that survives a round-trip: most metric values
+    // are "nice" (0.001, 42, 0.25) and should print that way, but
+    // bit-exactness matters for the spec round-trip and the golden
+    // JSON, so fall back to the full 17 significant digits.
+    for (const int precision : {15, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v) {
+            break;
+        }
+    }
+    return buf;
+}
+
+std::string
+Report::Value::scalar_string() const
+{
+    switch (kind) {
+      case Kind::Bool:
+        return b ? "true" : "false";
+      case Kind::Uint:
+        return std::to_string(u);
+      case Kind::Int:
+        return std::to_string(i);
+      case Kind::Double:
+        return format_double(d);
+      case Kind::String:
+        return s;
+      case Kind::Object:
+      case Kind::TableValue:
+        break;
+    }
+    return "";
+}
+
+Report::Value &
+Report::slot(const std::string &key)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == key) {
+            entry.second = Value();
+            return entry.second;
+        }
+    }
+    entries_.emplace_back(key, Value());
+    return entries_.back().second;
+}
+
+void
+Report::set(const std::string &key, const std::string &v)
+{
+    Value &value = slot(key);
+    value.kind = Value::Kind::String;
+    value.s = v;
+}
+
+void
+Report::set(const std::string &key, const char *v)
+{
+    set(key, std::string(v));
+}
+
+void
+Report::set(const std::string &key, double v)
+{
+    Value &value = slot(key);
+    value.kind = Value::Kind::Double;
+    value.d = v;
+}
+
+void
+Report::set(const std::string &key, uint64_t v)
+{
+    Value &value = slot(key);
+    value.kind = Value::Kind::Uint;
+    value.u = v;
+}
+
+void
+Report::set(const std::string &key, int64_t v)
+{
+    Value &value = slot(key);
+    value.kind = Value::Kind::Int;
+    value.i = v;
+}
+
+void
+Report::set(const std::string &key, int v)
+{
+    set(key, static_cast<int64_t>(v));
+}
+
+void
+Report::set(const std::string &key, unsigned v)
+{
+    set(key, static_cast<uint64_t>(v));
+}
+
+void
+Report::set(const std::string &key, bool v)
+{
+    Value &value = slot(key);
+    value.kind = Value::Kind::Bool;
+    value.b = v;
+}
+
+void
+Report::add_table(const std::string &key, const Table &table)
+{
+    Value &value = slot(key);
+    value.kind = Value::Kind::TableValue;
+    value.table_headers = table.headers();
+    value.table_rows = table.rows();
+}
+
+Report &
+Report::child(const std::string &key)
+{
+    for (auto &entry : entries_) {
+        if (entry.first == key) {
+            if (entry.second.kind != Value::Kind::Object) {
+                entry.second = Value();
+                entry.second.kind = Value::Kind::Object;
+                entry.second.object = std::make_unique<Report>();
+            }
+            return *entry.second.object;
+        }
+    }
+    entries_.emplace_back(key, Value());
+    Value &value = entries_.back().second;
+    value.kind = Value::Kind::Object;
+    value.object = std::make_unique<Report>();
+    return *value.object;
+}
+
+bool
+Report::has(const std::string &key) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.first == key) {
+            return true;
+        }
+    }
+    return false;
+}
+
+const Report::Value *
+Report::find(const std::string &dotted_path) const
+{
+    const size_t dot = dotted_path.find('.');
+    const std::string head = dotted_path.substr(0, dot);
+    for (const auto &entry : entries_) {
+        if (entry.first != head) {
+            continue;
+        }
+        if (dot == std::string::npos) {
+            return &entry.second;
+        }
+        if (entry.second.kind != Value::Kind::Object) {
+            return nullptr;
+        }
+        return entry.second.object->find(dotted_path.substr(dot + 1));
+    }
+    return nullptr;
+}
+
+bool
+Report::lookup_uint(const std::string &dotted_path, uint64_t *out) const
+{
+    const Value *value = find(dotted_path);
+    if (value == nullptr) {
+        return false;
+    }
+    if (value->kind == Value::Kind::Uint) {
+        *out = value->u;
+        return true;
+    }
+    if (value->kind == Value::Kind::Int && value->i >= 0) {
+        *out = static_cast<uint64_t>(value->i);
+        return true;
+    }
+    return false;
+}
+
+bool
+Report::lookup_double(const std::string &dotted_path, double *out) const
+{
+    const Value *value = find(dotted_path);
+    if (value == nullptr) {
+        return false;
+    }
+    switch (value->kind) {
+      case Value::Kind::Double:
+        *out = value->d;
+        return true;
+      case Value::Kind::Uint:
+        *out = static_cast<double>(value->u);
+        return true;
+      case Value::Kind::Int:
+        *out = static_cast<double>(value->i);
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Report::lookup_string(const std::string &dotted_path,
+                      std::string *out) const
+{
+    const Value *value = find(dotted_path);
+    if (value == nullptr || value->kind != Value::Kind::String) {
+        return false;
+    }
+    *out = value->s;
+    return true;
+}
+
+namespace {
+
+/** Scalar / table leaves only; objects recurse in Report::to_json. */
+void
+emit_json_value(const Report::Value &value, std::ostringstream &out,
+                int indent, int depth)
+{
+    using Kind = Report::Value::Kind;
+    const std::string pad(static_cast<size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<size_t>(indent) * depth, ' ');
+    switch (value.kind) {
+      case Kind::Bool:
+        out << (value.b ? "true" : "false");
+        break;
+      case Kind::Uint:
+        out << value.u;
+        break;
+      case Kind::Int:
+        out << value.i;
+        break;
+      case Kind::Double: {
+        // JSON has no inf/nan literals; keep the output parseable.
+        if (std::isnan(value.d) || std::isinf(value.d)) {
+            out << '"' << format_double(value.d) << '"';
+        } else {
+            out << format_double(value.d);
+        }
+        break;
+      }
+      case Kind::String:
+        out << '"' << json_escape(value.s) << '"';
+        break;
+      case Kind::Object:
+        break;  // handled by Report::to_json's recursion
+      case Kind::TableValue: {
+        out << "{\n" << pad << "\"headers\": [";
+        for (size_t c = 0; c < value.table_headers.size(); ++c) {
+            out << (c == 0 ? "" : ", ") << '"'
+                << json_escape(value.table_headers[c]) << '"';
+        }
+        out << "],\n" << pad << "\"rows\": [";
+        for (size_t r = 0; r < value.table_rows.size(); ++r) {
+            out << (r == 0 ? "" : ",") << '\n' << pad
+                << std::string(static_cast<size_t>(indent), ' ') << '[';
+            const auto &row = value.table_rows[r];
+            for (size_t c = 0; c < row.size(); ++c) {
+                out << (c == 0 ? "" : ", ") << '"' << json_escape(row[c])
+                    << '"';
+            }
+            out << ']';
+        }
+        if (!value.table_rows.empty()) {
+            out << '\n' << pad;
+        }
+        out << "]\n" << close_pad << '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+Report::to_json(int indent) const
+{
+    std::ostringstream out;
+    // Recursive emitter over the entry vector (member access).
+    struct Emitter
+    {
+        int indent;
+        void operator()(const Report &report, std::ostringstream &out,
+                        int depth) const
+        {
+            if (report.entries_.empty()) {
+                out << "{}";
+                return;
+            }
+            const std::string pad(
+                static_cast<size_t>(indent) * (depth + 1), ' ');
+            const std::string close_pad(
+                static_cast<size_t>(indent) * depth, ' ');
+            out << "{\n";
+            for (size_t e = 0; e < report.entries_.size(); ++e) {
+                const auto &entry = report.entries_[e];
+                out << pad << '"' << json_escape(entry.first) << "\": ";
+                if (entry.second.kind == Value::Kind::Object) {
+                    (*this)(*entry.second.object, out, depth + 1);
+                } else {
+                    emit_json_value(entry.second, out, indent, depth + 1);
+                }
+                out << (e + 1 < report.entries_.size() ? ",\n" : "\n");
+            }
+            out << close_pad << '}';
+        }
+    };
+    Emitter{indent}(*this, out, 0);
+    return out.str();
+}
+
+std::vector<std::pair<std::string, std::string>>
+Report::flat() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto &entry : entries_) {
+        switch (entry.second.kind) {
+          case Value::Kind::Object: {
+            for (auto &sub : entry.second.object->flat()) {
+                out.emplace_back(entry.first + "." + sub.first,
+                                 std::move(sub.second));
+            }
+            break;
+          }
+          case Value::Kind::TableValue:
+            break;  // tables are JSON-only
+          default:
+            out.emplace_back(entry.first, entry.second.scalar_string());
+        }
+    }
+    return out;
+}
+
+std::string
+Report::csv() const
+{
+    const auto pairs = flat();
+    std::ostringstream header;
+    std::ostringstream row;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+        header << (i == 0 ? "" : ",") << Table::csv_field(pairs[i].first);
+        row << (i == 0 ? "" : ",") << Table::csv_field(pairs[i].second);
+    }
+    return header.str() + "\n" + row.str() + "\n";
+}
+
+Table
+Report::to_table() const
+{
+    Table table({"metric", "value"});
+    for (auto &pair : flat()) {
+        table.add_row({pair.first, pair.second});
+    }
+    return table;
+}
+
+bool
+write_report_json(const Report &report, const std::string &path,
+                  std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        if (error != nullptr) {
+            *error = "cannot open '" + path + "' for writing";
+        }
+        return false;
+    }
+    const std::string json = report.to_json() + "\n";
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == json.size();
+    if (!ok && error != nullptr) {
+        *error = "short write to '" + path + "'";
+    }
+    return ok;
+}
+
+} // namespace btwc

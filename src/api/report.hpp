@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace btwc {
+
+/**
+ * Typed, ordered metric tree — the uniform machine-readable result of
+ * every simulation harness (the counterpart of `ScenarioSpec` on the
+ * output side).
+ *
+ * A `Report` is an ordered map from string keys to values; a value is
+ * a scalar (bool / unsigned / signed / double / string), a nested
+ * `Report`, or an embedded `Table` (headers + string rows). Key order
+ * is insertion order and is preserved by `to_json()`, so the JSON key
+ * sequence is stable across runs — the golden-file test in
+ * tests/test_api.cpp pins it, and the BENCH_* perf-trajectory tooling
+ * relies on it.
+ *
+ * Renderings:
+ *   - `to_json()`      pretty-printed JSON (non-finite doubles become
+ *                      the strings "inf" / "-inf" / "nan" so the
+ *                      output always parses);
+ *   - `flat()`         dotted-path scalar list ("metrics.ler", ...),
+ *                      the CSV row / lookup backbone (tables are
+ *                      skipped);
+ *   - `csv()`          two CSV lines (header + row) over `flat()`;
+ *   - `to_table()`     a two-column metric/value Table for humans.
+ */
+class Report
+{
+  public:
+    class Value;
+
+    Report() = default;
+    Report(Report &&) = default;
+    Report &operator=(Report &&) = default;
+
+    /** Set a scalar (replaces an existing value under the key). */
+    void set(const std::string &key, const std::string &v);
+    void set(const std::string &key, const char *v);
+    void set(const std::string &key, double v);
+    void set(const std::string &key, uint64_t v);
+    void set(const std::string &key, int64_t v);
+    void set(const std::string &key, int v);
+    void set(const std::string &key, unsigned v);
+    void set(const std::string &key, bool v);
+
+    /** Embed a copy of `table` (headers + rows) under `key`. */
+    void add_table(const std::string &key, const Table &table);
+
+    /**
+     * The nested report under `key`, created empty on first use.
+     * A non-object value under the same key is replaced.
+     */
+    Report &child(const std::string &key);
+
+    /** True if a value (of any kind) exists under `key`. */
+    bool has(const std::string &key) const;
+
+    /** Number of entries. */
+    size_t size() const { return entries_.size(); }
+
+    /**
+     * Look up a value by dotted path ("metrics.service.landed").
+     * Returns nullptr when any component is missing.
+     */
+    const Value *find(const std::string &dotted_path) const;
+
+    /** Scalar lookups by dotted path (false when absent/mistyped). */
+    bool lookup_uint(const std::string &dotted_path, uint64_t *out) const;
+    bool lookup_double(const std::string &dotted_path, double *out) const;
+    bool lookup_string(const std::string &dotted_path,
+                       std::string *out) const;
+
+    /** Pretty-printed JSON (always parseable; see class comment). */
+    std::string to_json(int indent = 2) const;
+
+    /** Dotted-path scalar pairs in tree order (tables skipped). */
+    std::vector<std::pair<std::string, std::string>> flat() const;
+
+    /** CSV header + row over `flat()`. */
+    std::string csv() const;
+
+    /** Two-column metric/value rendering of `flat()`. */
+    Table to_table() const;
+
+  private:
+    Value &slot(const std::string &key);
+
+    std::vector<std::pair<std::string, Value>> entries_;
+};
+
+/** One value of a Report entry (see Report). */
+class Report::Value
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Bool,
+        Uint,
+        Int,
+        Double,
+        String,
+        Object,
+        TableValue,
+    };
+
+    Value() = default;
+
+    Kind kind = Kind::Uint;
+    bool b = false;
+    uint64_t u = 0;
+    int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+    std::unique_ptr<Report> object;
+    std::vector<std::string> table_headers;
+    std::vector<std::vector<std::string>> table_rows;
+
+    /** The value rendered the way `to_json` renders a scalar leaf
+        (without quotes for strings); objects/tables yield "". */
+    std::string scalar_string() const;
+};
+
+/**
+ * Render a double the way every Report emitter does: the shortest
+ * `%g` form that parses back to the same value (non-finite values
+ * become "inf" / "-inf" / "nan").
+ */
+std::string format_double(double v);
+
+/**
+ * Write `report.to_json()` to `path` (with a trailing newline).
+ * Returns false and stores a diagnostic in `error` (when non-null) on
+ * I/O failure; never terminates the process.
+ */
+bool write_report_json(const Report &report, const std::string &path,
+                       std::string *error);
+
+} // namespace btwc

@@ -1,0 +1,265 @@
+#include "api/run.hpp"
+
+namespace btwc {
+
+namespace {
+
+/** Histogram summary with the percentiles the provisioning story uses. */
+void
+add_histogram(Report &parent, const std::string &key,
+              const CountHistogram &histogram)
+{
+    Report &node = parent.child(key);
+    node.set("total", histogram.total());
+    node.set("mean", histogram.mean());
+    node.set("p50", histogram.percentile(0.50));
+    node.set("p90", histogram.percentile(0.90));
+    node.set("p99", histogram.percentile(0.99));
+    node.set("p999", histogram.percentile(0.999));
+    node.set("max", histogram.max_value());
+}
+
+void
+fill_scenario(Report &report, const ScenarioSpec &spec)
+{
+    Report &scenario = report.child("scenario");
+    scenario.set("kind", scenario_kind_name(spec.kind));
+    scenario.set("spec", spec.to_string());
+    scenario.set("tiers", spec.tiers.describe());
+}
+
+void
+fill_engine(Report &config, int threads, uint64_t seed)
+{
+    config.set("threads", threads);
+    config.set("seed", seed);
+}
+
+} // namespace
+
+Report
+lifetime_metrics_report(const LifetimeStats &stats)
+{
+    Report metrics;
+    metrics.set("cycles", stats.cycles);
+    metrics.set("all_zero_cycles", stats.all_zero_cycles);
+    metrics.set("trivial_cycles", stats.trivial_cycles);
+    metrics.set("complex_cycles", stats.complex_cycles);
+    metrics.set("offchip_cycles", stats.offchip_cycles);
+    metrics.set("clique_corrections", stats.clique_corrections);
+    metrics.set("all_zero_halves", stats.all_zero_halves);
+    metrics.set("trivial_halves", stats.trivial_halves);
+    metrics.set("complex_halves", stats.complex_halves);
+    metrics.set("offchip_halves", stats.offchip_halves);
+    Report &tiers = metrics.child("tier_halves");
+    tiers.set("clique", stats.tier_halves[0]);
+    tiers.set("union_find", stats.tier_halves[1]);
+    tiers.set("mwpm", stats.tier_halves[2]);
+    tiers.set("exact", stats.tier_halves[3]);
+    metrics.set("coverage_per_decode", stats.coverage_per_decode());
+    metrics.set("coverage_per_cycle", stats.coverage());
+    metrics.set("onchip_nonzero_fraction",
+                stats.onchip_nonzero_fraction());
+    metrics.set("offchip_fraction", stats.offchip_fraction());
+    metrics.set("midtier_absorption", stats.midtier_absorption());
+    metrics.set("clique_data_reduction", stats.clique_data_reduction());
+    metrics.set("mean_raw_weight", stats.raw_weight.mean());
+    Report &service = metrics.child("service");
+    service.set("landed", stats.offchip_queue_delay.total());
+    service.set("suppressed", stats.suppressed_escalations);
+    service.set("pending", stats.pending_offchip);
+    service.set("mean_queue_delay", stats.offchip_queue_delay.mean());
+    service.set("p99_queue_delay",
+                stats.offchip_queue_delay.percentile(0.99));
+    service.set("mean_link_batch", stats.offchip_batch_sizes.mean());
+    return metrics;
+}
+
+Report
+memory_metrics_report(const MemoryResult &result)
+{
+    Report metrics;
+    metrics.set("trials", result.trials);
+    metrics.set("failures", result.failures);
+    metrics.set("ler", result.ler());
+    const auto [lo, hi] = result.ler_interval();
+    metrics.set("ler_ci_lo", lo);
+    metrics.set("ler_ci_hi", hi);
+    metrics.set("offchip_rounds", result.offchip_rounds);
+    metrics.set("total_rounds", result.total_rounds);
+    metrics.set("offchip_round_fraction",
+                result.total_rounds == 0
+                    ? 0.0
+                    : static_cast<double>(result.offchip_rounds) /
+                          static_cast<double>(result.total_rounds));
+    metrics.set("unclear_syndromes", result.unclear_syndromes);
+    return metrics;
+}
+
+Report
+fleet_run_report(const FleetRunResult &run, uint64_t total_cycles)
+{
+    Report link;
+    link.set("bandwidth", run.bandwidth);
+    link.set("bandwidth_reduction", run.bandwidth_reduction);
+    link.set("work_cycles", run.work_cycles);
+    link.set("stall_cycles", run.stall_cycles);
+    link.set("max_backlog", run.max_backlog);
+    link.set("exec_time_increase", run.exec_time_increase);
+    link.set("diverged", run.work_cycles < total_cycles);
+    link.set("mean_queue_delay", run.mean_queue_delay);
+    link.set("p99_queue_delay", run.p99_queue_delay);
+    link.set("max_queue_delay", run.max_queue_delay);
+    link.set("mean_batch", run.mean_batch);
+    return link;
+}
+
+Report
+exact_fleet_metrics_report(const ExactFleetStats &stats)
+{
+    Report metrics;
+    add_histogram(metrics, "demand", stats.demand);
+    metrics.set("enqueued", stats.enqueued);
+    metrics.set("served", stats.served);
+    metrics.set("landed", stats.landed);
+    metrics.set("suppressed", stats.suppressed);
+    metrics.set("pending", stats.pending);
+    metrics.set("stall_cycles", stats.stall_cycles);
+    metrics.set("work_cycles", stats.work_cycles);
+    metrics.set("max_backlog", stats.max_backlog);
+    metrics.set("exec_time_increase", stats.exec_time_increase());
+    metrics.set("backlog_mean", stats.backlog.mean());
+    Report &delay = metrics.child("queue_delay");
+    delay.set("mean", stats.queue_delay.mean());
+    delay.set("p99", stats.queue_delay.percentile(0.99));
+    delay.set("max", stats.queue_delay.max_value());
+    metrics.set("batch_mean", stats.batch_sizes.mean());
+    return metrics;
+}
+
+namespace {
+
+Report
+run_lifetime_scenario(const ScenarioSpec &spec)
+{
+    const LifetimeConfig config = spec.to_lifetime_config();
+    Report report;
+    fill_scenario(report, spec);
+    Report &conf = report.child("config");
+    conf.set("distance", config.distance);
+    conf.set("p", config.p);
+    conf.set("p_meas", config.meas_probability());
+    conf.set("filter_rounds", config.filter_rounds);
+    conf.set("mode", config.mode == LifetimeMode::Pipeline
+                         ? "pipeline"
+                         : "signature");
+    conf.set("policy", config.offchip == OffchipPolicy::Mwpm ? "mwpm"
+                                                             : "oracle");
+    conf.set("cycles", config.cycles);
+    conf.set("offchip_latency", config.offchip_latency);
+    conf.set("offchip_bandwidth", config.offchip_bandwidth);
+    conf.set("offchip_batch", config.offchip_batch);
+    fill_engine(conf, config.threads, config.seed);
+    report.child("metrics") = lifetime_metrics_report(run_lifetime(config));
+    return report;
+}
+
+Report
+run_memory_scenario(const ScenarioSpec &spec)
+{
+    const MemoryConfig config = spec.to_memory_config();
+    Report report;
+    fill_scenario(report, spec);
+    Report &conf = report.child("config");
+    conf.set("distance", config.distance);
+    conf.set("p", config.p);
+    conf.set("p_meas", config.meas_probability());
+    conf.set("rounds", config.rounds > 0 ? config.rounds
+                                         : config.distance);
+    conf.set("filter_rounds", config.filter_rounds);
+    conf.set("arm", decoder_arm_name(spec.arm));
+    conf.set("weighted", config.weighted_matching);
+    conf.set("error_type",
+             config.error_type == CheckType::X ? "x" : "z");
+    conf.set("max_trials", config.max_trials);
+    conf.set("target_failures", config.target_failures);
+    fill_engine(conf, config.threads, config.seed);
+    report.child("metrics") =
+        memory_metrics_report(run_memory_experiment(config, spec.arm));
+    return report;
+}
+
+Report
+run_fleet_scenario(const ScenarioSpec &spec)
+{
+    const FleetConfig config = spec.to_fleet_config();
+    Report report;
+    fill_scenario(report, spec);
+    Report &conf = report.child("config");
+    conf.set("num_qubits", config.num_qubits);
+    conf.set("q", config.offchip_prob);
+    conf.set("hot_fraction", spec.service.hot_fraction);
+    conf.set("hot_mult", spec.service.hot_mult);
+    conf.set("cycles", config.cycles);
+    conf.set("offchip_latency", config.offchip_latency);
+    conf.set("offchip_batch", config.offchip_batch);
+    conf.set("bandwidth", spec.service.bandwidth);
+    fill_engine(conf, config.threads, config.seed);
+    Report &metrics = report.child("metrics");
+    if (spec.service.bandwidth > 0) {
+        // A provisioned link: the Fig. 16 stall/backlog observables.
+        // The demand stream is consumed by the link run itself, so an
+        // unprovisioned (`bandwidth=0`) scenario is the way to get
+        // the raw demand percentiles — running both here would draw
+        // the whole Monte-Carlo trace twice.
+        metrics.child("link") = fleet_run_report(
+            run_fleet_with_bandwidth(config, spec.service.bandwidth),
+            config.cycles);
+    } else {
+        add_histogram(metrics, "demand", fleet_demand_histogram(config));
+    }
+    return report;
+}
+
+Report
+run_exact_fleet_scenario(const ScenarioSpec &spec)
+{
+    const ExactFleetConfig config = spec.to_exact_fleet_config();
+    Report report;
+    fill_scenario(report, spec);
+    Report &conf = report.child("config");
+    conf.set("distance", config.distance);
+    conf.set("p", config.p);
+    conf.set("fleet_size", config.num_qubits);
+    conf.set("shared_link", config.shared_link);
+    conf.set("policy", config.offchip == OffchipPolicy::Mwpm ? "mwpm"
+                                                             : "oracle");
+    conf.set("cycles", config.cycles);
+    conf.set("offchip_latency", config.offchip_latency);
+    conf.set("offchip_bandwidth", config.offchip_bandwidth);
+    conf.set("offchip_batch", config.offchip_batch);
+    fill_engine(conf, config.threads, config.seed);
+    report.child("metrics") =
+        exact_fleet_metrics_report(fleet_demand_exact_stats(config));
+    return report;
+}
+
+} // namespace
+
+Report
+run_scenario(const ScenarioSpec &spec)
+{
+    switch (spec.kind) {
+      case ScenarioKind::Lifetime:
+        return run_lifetime_scenario(spec);
+      case ScenarioKind::Memory:
+        return run_memory_scenario(spec);
+      case ScenarioKind::Fleet:
+        return run_fleet_scenario(spec);
+      case ScenarioKind::ExactFleet:
+        return run_exact_fleet_scenario(spec);
+    }
+    return Report();
+}
+
+} // namespace btwc

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "api/report.hpp"
+#include "api/scenario.hpp"
+
+namespace btwc {
+
+/**
+ * Run one scenario through its harness and return the uniform Report:
+ *
+ *   {
+ *     "scenario": { "kind", "spec", "tiers" },
+ *     "config":   { resolved harness configuration },
+ *     "metrics":  { harness observables (schema per kind, see
+ *                   src/api/README.md) }
+ *   }
+ *
+ * The dispatch is a thin, lossless wrapper: the spec is adapted to
+ * the legacy config struct (ScenarioSpec::to_*_config) and handed to
+ * the existing harness (`run_lifetime`, `run_memory_experiment`,
+ * `fleet_demand_histogram` / `run_fleet_with_bandwidth`,
+ * `fleet_demand_exact_stats`), so every metric is bit-exact with a
+ * direct legacy-config call — enforced by tests/test_api.cpp for
+ * every registry scenario.
+ */
+Report run_scenario(const ScenarioSpec &spec);
+
+/**
+ * Metric subtrees of `run_scenario`, exposed so bench binaries can
+ * embed the same stable schema in their own `--json` reports next to
+ * their figure tables.
+ */
+Report lifetime_metrics_report(const LifetimeStats &stats);
+Report memory_metrics_report(const MemoryResult &result);
+Report fleet_run_report(const FleetRunResult &run, uint64_t total_cycles);
+Report exact_fleet_metrics_report(const ExactFleetStats &stats);
+
+} // namespace btwc

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "core/system.hpp"
+#include "decoders/tier_chain.hpp"
+#include "sim/fleet.hpp"
+#include "sim/lifetime.hpp"
+#include "sim/memory.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/**
+ * Which simulation harness a scenario drives (see run_scenario):
+ *
+ *   Lifetime   run_lifetime              — signature / pipeline modes
+ *   Memory     run_memory_experiment     — logical error rate trials
+ *   Fleet      fleet_demand_histogram +  — binomial machine model,
+ *              run_fleet_with_bandwidth    optional provisioned link
+ *   ExactFleet fleet_demand_exact_stats  — fully simulated pipelines,
+ *                                          private or shared link
+ */
+enum class ScenarioKind : uint8_t
+{
+    Lifetime = 0,
+    Memory = 1,
+    Fleet = 2,
+    ExactFleet = 3,
+};
+
+/** Canonical name of a kind ("lifetime" | "memory" | ...). */
+const char *scenario_kind_name(ScenarioKind kind);
+
+/** The code / noise operating point of a scenario. */
+struct CodeSpec
+{
+    int distance = 5;
+    double p = 1e-3;       ///< data-error probability per cycle/round
+    double p_meas = -1.0;  ///< measurement-flip probability; <0 -> p
+    int filter_rounds = 2; ///< Fig. 7 persistence window
+    int rounds = 0;        ///< memory-only: noisy rounds; 0 = d
+    CheckType error_type = CheckType::X;  ///< memory-only: which half
+};
+
+/** The off-chip service / fleet side of a scenario. */
+struct ServiceSpec
+{
+    OffchipPolicy policy = OffchipPolicy::Oracle;
+    uint64_t latency = 0;    ///< decode round-trip latency in cycles
+    uint64_t bandwidth = 0;  ///< served decodes per cycle; 0 = unlimited
+                             ///< (Fleet kind: 0 = demand histogram only)
+    uint64_t batch = 0;      ///< decode_batch grouping cap
+    bool shared_link = false;  ///< ExactFleet: one multi-tenant link
+    int fleet_size = 10;       ///< ExactFleet: fully simulated tenants
+    int num_qubits = 1000;     ///< Fleet: binomial machine size
+    double offchip_prob = 0.01;  ///< Fleet: per-qubit per-cycle q
+    double hot_fraction = 0.0;   ///< Fleet: hot-spot fraction (q profile)
+    double hot_mult = 1.0;       ///< Fleet: hot-spot multiplier on q
+};
+
+/** The Monte-Carlo engine side of a scenario. */
+struct EngineSpec
+{
+    int threads = 1;    ///< worker shards (sim/engine.hpp); 0 = all cores
+    uint64_t seed = 1;
+    uint64_t cycles = 0;  ///< simulated cycles; 0 = the harness default
+    uint64_t trials = 0;  ///< memory-only: trial cap; 0 = default
+    uint64_t target_failures = 0;  ///< memory-only early stop; 0 = default
+};
+
+/**
+ * One experiment, fully described — the single front door to every
+ * simulation harness. A `ScenarioSpec` round-trips through a compact
+ * comma-separated grammar:
+ *
+ *     d=21,p=1e-3,tiers=clique,uf:3,mwpm,latency=2,bandwidth=1,fleet=50
+ *
+ * Tokens are `key=value` pairs; a bare token is a scenario kind
+ * (`lifetime` | `memory` | `fleet` | `exact-fleet`), a mode /
+ * boolean shortcut (`pipeline`, `signature`, `shared`, `weighted`),
+ * or — immediately after a `tiers=` assignment — a continuation of
+ * the tier list (`uf:3`, `mwpm`, ... as in TierChainConfig::parse).
+ * Full grammar: src/api/README.md. `to_string()` emits the canonical
+ * ordering with defaulted fields omitted, and
+ * `parse(spec.to_string()) == spec` for every valid spec.
+ */
+struct ScenarioSpec
+{
+    ScenarioKind kind = ScenarioKind::Lifetime;
+    CodeSpec code;
+    TierChainConfig tiers = TierChainConfig::legacy();
+    LifetimeMode mode = LifetimeMode::Signature;  ///< Lifetime kind
+    DecoderArm arm = DecoderArm::CliqueMwpm;      ///< Memory kind
+    bool weighted_matching = false;               ///< Memory kind
+    ServiceSpec service;
+    EngineSpec engine;
+
+    /**
+     * Parse the scenario grammar. Returns false on a malformed spec,
+     * leaving `out` untouched and storing a diagnostic in `error`
+     * (when non-null); never terminates the process (the CLI
+     * exit-on-error behavior lives in btwc_run's main).
+     */
+    static bool try_parse(const std::string &spec, ScenarioSpec *out,
+                          std::string *error);
+
+    /** As `try_parse`, but throws std::invalid_argument. */
+    static ScenarioSpec parse(const std::string &spec);
+
+    /** Canonical spec string (see class comment; parse round-trips). */
+    std::string to_string() const;
+
+    /**
+     * Build a spec from the shared CLI flag conventions
+     * (common/flags.hpp) — the consolidation of the per-binary flag
+     * plumbing. Equivalent to `apply_flags` on a default spec.
+     */
+    static bool from_flags(const Flags &flags, ScenarioSpec *out,
+                           std::string *error);
+
+    /**
+     * Override this spec with every recognized flag present in
+     * `flags` (absent flags leave fields untouched) — how btwc_run
+     * layers CLI overrides over a registry scenario. Recognized:
+     * --kind --distance --p --p_meas --filter_rounds --rounds
+     * --error_type --tiers --uf_threshold --mode --pipeline
+     * --real_offchip --policy --arm --weighted --offchip-latency
+     * --offchip-bandwidth --batch --shared-link --fleet-size --qubits
+     * --q --hot-fraction --hot-mult --bandwidth --cycles --trials
+     * --failures --threads --seed. Returns false with a diagnostic on
+     * a malformed value.
+     */
+    bool apply_flags(const Flags &flags, std::string *error);
+
+    /** Lossless adapters to the legacy per-harness config structs. */
+    LifetimeConfig to_lifetime_config() const;
+    MemoryConfig to_memory_config() const;
+    FleetConfig to_fleet_config() const;
+    ExactFleetConfig to_exact_fleet_config() const;
+
+    /** Specs are equal iff their canonical strings are. */
+    bool operator==(const ScenarioSpec &other) const
+    {
+        return to_string() == other.to_string();
+    }
+    bool operator!=(const ScenarioSpec &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/**
+ * Spec-grammar rendering of a tier chain, the inverse of
+ * `TierChainConfig::try_parse`: "clique,uf:3,mwpm". Thresholds are
+ * explicit wherever they are set, so the result re-parses identically
+ * under any `uf_threshold` default.
+ */
+std::string tiers_spec_string(const TierChainConfig &config);
+
+/**
+ * Every flag spelling `ScenarioSpec::apply_flags` recognizes (grammar
+ * keys, historical CLI spellings, boolean shortcuts, "tiers"). CLIs
+ * whose whole flag surface is the override set (btwc_run) use this to
+ * reject unknown flags instead of silently dropping them.
+ */
+const std::vector<std::string> &scenario_override_flags();
+
+} // namespace btwc

@@ -3,28 +3,78 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 
+#include "common/parse.hpp"
 #include "decoders/tier_chain.hpp"
 
 namespace btwc {
 
-Flags::Flags(int argc, const char *const *argv)
+bool
+Flags::try_parse(int argc, const char *const *argv, Flags *out,
+                 std::string *error)
 {
+    Flags flags;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0) {
-            positional_.push_back(std::move(arg));
+            flags.positional_.push_back(std::move(arg));
             continue;
         }
         arg = arg.substr(2);
         const auto eq = arg.find('=');
-        if (eq != std::string::npos) {
-            values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-            values_[arg] = argv[++i];
-        } else {
-            values_[arg] = "true";
+        const std::string name =
+            eq == std::string::npos ? arg : arg.substr(0, eq);
+        if (name.empty()) {
+            if (error != nullptr) {
+                *error = std::string("malformed argument '") + argv[i] +
+                         "': empty flag name";
+            }
+            return false;
         }
+        if (eq != std::string::npos) {
+            flags.values_[name] = arg.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            flags.values_[name] = argv[++i];
+        } else {
+            flags.values_[name] = "true";
+        }
+    }
+    *out = std::move(flags);
+    return true;
+}
+
+Flags::Flags(int argc, const char *const *argv)
+{
+    std::string error;
+    if (!try_parse(argc, argv, this, &error)) {
+        throw std::invalid_argument(error);
+    }
+}
+
+Flags
+flags_or_exit(int argc, const char *const *argv)
+{
+    Flags flags;
+    std::string error;
+    if (!Flags::try_parse(argc, argv, &flags, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        std::exit(2);
+    }
+    flags.exit_on_error_ = true;
+    return flags;
+}
+
+void
+Flags::fail(const std::string &diagnostic) const
+{
+    if (exit_on_error_) {
+        std::fprintf(stderr, "%s\n", diagnostic.c_str());
+        std::exit(2);
+    }
+    if (error_.empty()) {
+        error_ = diagnostic;
     }
 }
 
@@ -32,6 +82,17 @@ bool
 Flags::has(const std::string &name) const
 {
     return values_.count(name) > 0;
+}
+
+std::vector<std::string>
+Flags::names() const
+{
+    std::vector<std::string> names;
+    names.reserve(values_.size());
+    for (const auto &entry : values_) {
+        names.push_back(entry.first);  // std::map: already sorted
+    }
+    return names;
 }
 
 std::string
@@ -48,7 +109,13 @@ Flags::get_int(const std::string &name, int64_t def) const
     if (it == values_.end()) {
         return def;
     }
-    return std::strtoll(it->second.c_str(), nullptr, 10);
+    int64_t value = 0;
+    if (!parse_i64(it->second, &value)) {
+        fail("--" + name + ": expected an integer, got '" + it->second +
+             "'");
+        return def;
+    }
+    return value;
 }
 
 double
@@ -58,7 +125,13 @@ Flags::get_double(const std::string &name, double def) const
     if (it == values_.end()) {
         return def;
     }
-    return std::strtod(it->second.c_str(), nullptr);
+    double value = 0.0;
+    if (!parse_f64(it->second, &value)) {
+        fail("--" + name + ": expected a number, got '" + it->second +
+             "'");
+        return def;
+    }
+    return value;
 }
 
 bool
@@ -68,7 +141,13 @@ Flags::get_bool(const std::string &name, bool def) const
     if (it == values_.end()) {
         return def;
     }
-    return it->second != "false" && it->second != "0";
+    bool value = false;
+    if (!parse_bool(it->second, &value)) {
+        fail("--" + name + ": expected a boolean, got '" + it->second +
+             "'");
+        return def;
+    }
+    return value;
 }
 
 std::vector<int64_t>
@@ -82,9 +161,16 @@ Flags::get_int_list(const std::string &name, std::vector<int64_t> def) const
     std::stringstream ss(it->second);
     std::string item;
     while (std::getline(ss, item, ',')) {
-        if (!item.empty()) {
-            out.push_back(std::strtoll(item.c_str(), nullptr, 10));
+        if (item.empty()) {
+            continue;
         }
+        int64_t value = 0;
+        if (!parse_i64(item, &value)) {
+            fail("--" + name + ": expected an integer list, got '" +
+                 item + "' in '" + it->second + "'");
+            return def;
+        }
+        out.push_back(value);
     }
     return out;
 }
@@ -100,9 +186,16 @@ Flags::get_double_list(const std::string &name, std::vector<double> def) const
     std::stringstream ss(it->second);
     std::string item;
     while (std::getline(ss, item, ',')) {
-        if (!item.empty()) {
-            out.push_back(std::strtod(item.c_str(), nullptr));
+        if (item.empty()) {
+            continue;
         }
+        double value = 0.0;
+        if (!parse_f64(item, &value)) {
+            fail("--" + name + ": expected a number list, got '" + item +
+                 "' in '" + it->second + "'");
+            return def;
+        }
+        out.push_back(value);
     }
     return out;
 }

@@ -70,12 +70,29 @@ Table::to_string() const
 }
 
 std::string
+Table::csv_field(const std::string &value)
+{
+    if (value.find_first_of(",\"\n") == std::string::npos) {
+        return value;
+    }
+    std::string quoted = "\"";
+    for (const char c : value) {
+        if (c == '"') {
+            quoted += '"';
+        }
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
 Table::to_csv() const
 {
     std::ostringstream out;
     auto emit = [&](const std::vector<std::string> &row) {
         for (size_t c = 0; c < row.size(); ++c) {
-            out << (c == 0 ? "" : ",") << row[c];
+            out << (c == 0 ? "" : ",") << csv_field(row[c]);
         }
         out << '\n';
     };

@@ -27,6 +27,14 @@ class Table
     /** Convenience: format a double in scientific notation. */
     static std::string sci(double v, int precision = 2);
 
+    /**
+     * RFC-4180 field quoting: values containing a comma, quote or
+     * newline are wrapped in double quotes (with quotes doubled), so
+     * cells like a "[lo,hi]" confidence interval survive a CSV
+     * round-trip. Used by `to_csv` and `Report::csv`.
+     */
+    static std::string csv_field(const std::string &value);
+
     /** Render the table, column-aligned, with a header separator. */
     std::string to_string() const;
 
@@ -35,6 +43,15 @@ class Table
 
     /** Print `to_string()` to stdout. */
     void print() const;
+
+    /** Column headers (for machine-readable re-renderings). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Rows in insertion order. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
 
   private:
     std::vector<std::string> headers_;

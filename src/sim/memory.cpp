@@ -8,6 +8,7 @@
 #include "core/filter.hpp"
 #include "matching/mwpm.hpp"
 #include "matching/union_find.hpp"
+#include "sim/engine.hpp"
 #include "surface/frame.hpp"
 #include "surface/noise.hpp"
 
@@ -101,10 +102,12 @@ run_trial(const RotatedSurfaceCode &code, const MemoryConfig &config,
     return frame.logical_flipped();
 }
 
-} // namespace
-
+/**
+ * One shard: the historical single-threaded trial loop. `config`
+ * carries the shard's trial budget, failure target and seed.
+ */
 MemoryResult
-run_memory_experiment(const MemoryConfig &config, DecoderArm arm)
+run_memory_shard(const MemoryConfig &config, DecoderArm arm)
 {
     const RotatedSurfaceCode code(config.distance);
     const CheckType detector = detector_of_error(config.error_type);
@@ -133,6 +136,34 @@ run_memory_experiment(const MemoryConfig &config, DecoderArm arm)
         }
     }
     return result;
+}
+
+} // namespace
+
+MemoryResult
+run_memory_experiment(const MemoryConfig &config, DecoderArm arm)
+{
+    // Cross-shard early-stop rule (see header): per-shard failure
+    // budget ceil(target / #shards), planned up front so the result
+    // is deterministic for a fixed (trials, threads, seed) triple.
+    const size_t num_shards =
+        plan_shards(config.max_trials, resolve_threads(config.threads),
+                    config.seed)
+            .size();
+    const uint64_t shard_target =
+        num_shards <= 1
+            ? config.target_failures
+            : (config.target_failures + num_shards - 1) / num_shards;
+    return run_sharded<MemoryResult>(
+        config.max_trials, config.threads, config.seed,
+        [&config, arm, shard_target](const Shard &shard) {
+            MemoryConfig shard_config = config;
+            shard_config.max_trials = shard.cycles;
+            shard_config.target_failures = shard_target;
+            shard_config.seed = shard.seed;
+            shard_config.threads = 1;
+            return run_memory_shard(shard_config, arm);
+        });
 }
 
 } // namespace btwc

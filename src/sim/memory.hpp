@@ -35,6 +35,14 @@ struct MemoryConfig
      */
     bool weighted_matching = false;
     CheckType error_type = CheckType::X;  ///< which half is simulated
+    /**
+     * Worker shards for the Monte-Carlo engine (sim/engine.hpp): 1 =
+     * historical single-threaded run (bit-exact), 0 = all hardware
+     * threads, N = exactly N shards with independent RNG streams.
+     * Sharding splits `max_trials` exactly; see run_memory_experiment
+     * for the cross-shard `target_failures` early-stop rule.
+     */
+    int threads = 1;
     uint64_t seed = 1;
 
     /** Effective measurement flip probability. */
@@ -58,6 +66,20 @@ struct MemoryResult
      */
     uint64_t unclear_syndromes = 0;
 
+    /**
+     * Fold the result of another (independently sampled) run into this
+     * one -- the reduction step of the sharded Monte-Carlo engine
+     * (sim/engine.hpp). Exact: every counter is a sum.
+     */
+    void merge(const MemoryResult &other)
+    {
+        trials += other.trials;
+        failures += other.failures;
+        offchip_rounds += other.offchip_rounds;
+        total_rounds += other.total_rounds;
+        unclear_syndromes += other.unclear_syndromes;
+    }
+
     /** Logical error rate per `rounds`-round block. */
     double ler() const
     {
@@ -74,6 +96,16 @@ struct MemoryResult
  * Run one memory experiment: per trial, `rounds` noisy syndrome
  * extraction rounds followed by one perfect round, decode, and check
  * whether the residual anticommutes with the dual logical operator.
+ *
+ * Sharded over `config.threads` workers (sim/engine.hpp): shard trial
+ * budgets sum to `max_trials` exactly and `threads == 1` reproduces
+ * the historical single-threaded run bit-for-bit. Cross-shard
+ * early-stop rule: each shard stops at its trial budget or after
+ * ceil(target_failures / #shards) failures, whichever comes first --
+ * deterministic (no inter-thread communication), and since shard
+ * samples are i.i.d. the merged run stops at ~target_failures like
+ * the serial loop. The merged `failures` can exceed `target_failures`
+ * by at most #shards - 1.
  *
  * The baseline arm decodes all detection events in a single 3D MWPM
  * pass. The Clique arm replays the paper's pipeline: per-round

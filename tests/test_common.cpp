@@ -283,5 +283,73 @@ TEST(Flags, DefaultsWhenAbsent)
     ASSERT_EQ(dl.size(), 2u);
 }
 
+TEST(Flags, TryParseRejectsEmptyFlagNames)
+{
+    // Status + diagnostic, never a process exit: libraries and tests
+    // can exercise malformed argv (the exit(2) lives in flags_or_exit
+    // / binary mains only).
+    for (const char *bad : {"--", "--=value"}) {
+        SCOPED_TRACE(bad);
+        const char *argv[] = {"prog", bad};
+        Flags flags;
+        std::string error;
+        EXPECT_FALSE(Flags::try_parse(2, argv, &flags, &error));
+        EXPECT_NE(error.find("empty flag name"), std::string::npos);
+        EXPECT_THROW(Flags(2, argv), std::invalid_argument);
+    }
+}
+
+TEST(Flags, MalformedValuesRecordDiagnosticsAndReturnDefaults)
+{
+    const char *argv[] = {"prog", "--cycles=10k", "--p=fast",
+                          "--csv=maybe", "--list=1,x,3"};
+    Flags flags(5, argv);
+    EXPECT_TRUE(flags.ok());
+    EXPECT_EQ(flags.get_int("cycles", 7), 7);
+    EXPECT_FALSE(flags.ok());  // first diagnostic recorded
+    EXPECT_NE(flags.error().find("--cycles"), std::string::npos);
+    EXPECT_NE(flags.error().find("10k"), std::string::npos);
+    EXPECT_DOUBLE_EQ(flags.get_double("p", 0.5), 0.5);
+    EXPECT_FALSE(flags.get_bool("csv", false));
+    const auto list = flags.get_int_list("list", {9});
+    ASSERT_EQ(list.size(), 1u);
+    EXPECT_EQ(list[0], 9);
+    // The first diagnostic wins; later ones do not overwrite it.
+    EXPECT_NE(flags.error().find("--cycles"), std::string::npos);
+}
+
+TEST(Flags, IntegerOverflowIsMalformedNotSaturated)
+{
+    // strtoll's silent ERANGE saturation to INT64_MAX must surface as
+    // a diagnostic, not a ~9.2e18-cycle run.
+    const char *argv[] = {"prog", "--cycles=99999999999999999999"};
+    Flags flags(2, argv);
+    EXPECT_EQ(flags.get_int("cycles", 5), 5);
+    EXPECT_FALSE(flags.ok());
+    EXPECT_NE(flags.error().find("--cycles"), std::string::npos);
+}
+
+TEST(Flags, StrictBooleansAcceptTheUsualSpellings)
+{
+    const char *argv[] = {"prog", "--a", "--b=false", "--c=1",
+                          "--d=no", "--e=yes"};
+    Flags flags(6, argv);
+    EXPECT_TRUE(flags.get_bool("a"));
+    EXPECT_FALSE(flags.get_bool("b", true));
+    EXPECT_TRUE(flags.get_bool("c"));
+    EXPECT_FALSE(flags.get_bool("d", true));
+    EXPECT_TRUE(flags.get_bool("e"));
+    EXPECT_TRUE(flags.ok());
+}
+
+TEST(Flags, NegativeNumbersAreValuesNotFlags)
+{
+    const char *argv[] = {"prog", "--threads", "-3", "--x=-2.5"};
+    Flags flags(4, argv);
+    EXPECT_EQ(flags.get_int("threads", 1), -3);
+    EXPECT_DOUBLE_EQ(flags.get_double("x", 0.0), -2.5);
+    EXPECT_TRUE(flags.ok());
+}
+
 } // namespace
 } // namespace btwc

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/fleet.hpp"
 #include "sim/lifetime.hpp"
 #include "sim/memory.hpp"
@@ -214,6 +216,77 @@ TEST(Memory, EarlyStopOnTargetFailures)
     const auto result = run_memory_experiment(config, DecoderArm::MwpmOnly);
     EXPECT_GE(result.failures, 20u);
     EXPECT_LT(result.trials, config.max_trials);
+}
+
+TEST(Memory, ShardedRunIsDeterministicAndMergesExactly)
+{
+    MemoryConfig config;
+    config.distance = 3;
+    config.p = 2e-2;
+    config.max_trials = 2000;
+    config.target_failures = 2000;  // fixed-trial comparison
+    config.threads = 3;
+    const MemoryResult a =
+        run_memory_experiment(config, DecoderArm::CliqueMwpm);
+    const MemoryResult b =
+        run_memory_experiment(config, DecoderArm::CliqueMwpm);
+    // Deterministic for a fixed (trials, threads, seed) triple.
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.offchip_rounds, b.offchip_rounds);
+    EXPECT_EQ(a.total_rounds, b.total_rounds);
+    // Shard trial budgets sum to the cap exactly (no early stop here).
+    EXPECT_EQ(a.trials, config.max_trials);
+    EXPECT_EQ(a.total_rounds,
+              config.max_trials * static_cast<uint64_t>(config.distance));
+    EXPECT_EQ(a.unclear_syndromes, 0u);
+    // A statistically equivalent (not bit-identical) sample vs serial.
+    MemoryConfig serial = config;
+    serial.threads = 1;
+    const MemoryResult s =
+        run_memory_experiment(serial, DecoderArm::CliqueMwpm);
+    EXPECT_EQ(s.trials, config.max_trials);
+    EXPECT_NEAR(static_cast<double>(a.failures),
+                static_cast<double>(s.failures),
+                5.0 * std::sqrt(static_cast<double>(s.failures) + 1.0));
+}
+
+TEST(Memory, CrossShardEarlyStopApproximatesTarget)
+{
+    MemoryConfig config;
+    config.distance = 3;
+    config.p = 3e-2;
+    config.max_trials = 100000;
+    config.target_failures = 20;
+    config.threads = 4;
+    const auto result = run_memory_experiment(config, DecoderArm::MwpmOnly);
+    // Each shard stops at ceil(target / shards) failures, so the
+    // merged run lands in [target, target + shards - 1] when no shard
+    // exhausts its trial budget first.
+    EXPECT_GE(result.failures, config.target_failures);
+    EXPECT_LE(result.failures, config.target_failures + 3);
+    EXPECT_LT(result.trials, config.max_trials);
+}
+
+TEST(Memory, SingleThreadMatchesDefaultThreadsField)
+{
+    // threads = 1 (the struct default) is the historical serial loop:
+    // two configs differing only in an explicitly-spelled threads = 1
+    // must agree bit-for-bit.
+    MemoryConfig config;
+    config.distance = 3;
+    config.p = 2e-2;
+    config.max_trials = 500;
+    config.target_failures = 10;
+    MemoryConfig spelled = config;
+    spelled.threads = 1;
+    const MemoryResult a =
+        run_memory_experiment(config, DecoderArm::CliqueMwpm);
+    const MemoryResult b =
+        run_memory_experiment(spelled, DecoderArm::CliqueMwpm);
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.offchip_rounds, b.offchip_rounds);
 }
 
 TEST(Fleet, BinomialDemandMatchesMean)
