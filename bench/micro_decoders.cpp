@@ -18,6 +18,7 @@
 #include "core/filter.hpp"
 #include "core/system.hpp"
 #include "decoders/exact_decoder.hpp"
+#include "decoders/lookup_table.hpp"
 #include "decoders/tier_chain.hpp"
 #include "matching/mwpm.hpp"
 #include "matching/union_find.hpp"
@@ -39,6 +40,30 @@ sample_syndrome(const RotatedSurfaceCode &code, int errors, Rng &rng)
     std::vector<uint8_t> syndrome;
     frame.measure_perfect(syndrome);
     return syndrome;
+}
+
+/** Detection events of a full d-round spacetime window at p = 5e-3. */
+std::vector<DetectionEvent>
+sample_window(const RotatedSurfaceCode &code, Rng &rng)
+{
+    const int d = code.distance();
+    ErrorFrame frame(code, CheckType::X);
+    std::vector<std::vector<uint8_t>> raw(d + 1);
+    std::vector<DetectionEvent> events;
+    for (int t = 0; t < d; ++t) {
+        frame.inject(5e-3, rng);
+        frame.measure(5e-3, rng, raw[t]);
+    }
+    frame.measure_perfect(raw[d]);
+    for (int t = 0; t <= d; ++t) {
+        for (int c = 0; c < code.num_checks(CheckType::Z); ++c) {
+            const uint8_t prev = t == 0 ? 0 : raw[t - 1][c];
+            if ((raw[t][c] ^ prev) & 1) {
+                events.push_back(DetectionEvent{c, t});
+            }
+        }
+    }
+    return events;
 }
 
 void
@@ -131,27 +156,71 @@ BM_SpacetimeMwpmWindow(benchmark::State &state)
     const RotatedSurfaceCode code(d);
     const MwpmDecoder mwpm(code, CheckType::Z);
     Rng rng(6);
-    ErrorFrame frame(code, CheckType::X);
-    std::vector<std::vector<uint8_t>> raw(d + 1);
-    std::vector<DetectionEvent> events;
-    for (int t = 0; t < d; ++t) {
-        frame.inject(5e-3, rng);
-        frame.measure(5e-3, rng, raw[t]);
-    }
-    frame.measure_perfect(raw[d]);
-    for (int t = 0; t <= d; ++t) {
-        for (int c = 0; c < code.num_checks(CheckType::Z); ++c) {
-            const uint8_t prev = t == 0 ? 0 : raw[t - 1][c];
-            if ((raw[t][c] ^ prev) & 1) {
-                events.push_back(DetectionEvent{c, t});
-            }
-        }
-    }
+    const std::vector<DetectionEvent> events = sample_window(code, rng);
     for (auto _ : state) {
         benchmark::DoNotOptimize(mwpm.decode(events, d + 1));
     }
 }
 BENCHMARK(BM_SpacetimeMwpmWindow)->Arg(5)->Arg(9)->Arg(11);
+
+/**
+ * The perf-gate pair: single-shot spacetime decodes (a fresh window
+ * per slot, varied inputs) through the fast path — distance oracle +
+ * sparse candidates + pooled per-instance scratch, the production
+ * default — against the legacy per-defect Dijkstra + complete-graph
+ * configuration (bit-exact results, tests/test_fastpath.cpp). The
+ * acceptance bar is >= 3x at d >= 11; see the archived
+ * BENCH_decoders.json for the measured trajectory.
+ */
+void
+run_single_decode(benchmark::State &state, const FastPathConfig &config)
+{
+    const int d = static_cast<int>(state.range(0));
+    const RotatedSurfaceCode code(d);
+    const MwpmDecoder mwpm(code, CheckType::Z, 1, 1,
+                           MwpmDecoder::Matcher::Blossom, config);
+    Rng rng(10);
+    std::vector<std::vector<DetectionEvent>> windows;
+    for (int i = 0; i < 16; ++i) {
+        windows.push_back(sample_window(code, rng));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mwpm.decode(windows[i++ & 15], d + 1));
+    }
+}
+
+void
+BM_MwpmDecodeSingle(benchmark::State &state)
+{
+    run_single_decode(state, FastPathConfig::fast());
+}
+BENCHMARK(BM_MwpmDecodeSingle)->Arg(11)->Arg(15)->Arg(21);
+
+void
+BM_MwpmDecodeSingleLegacy(benchmark::State &state)
+{
+    run_single_decode(state, FastPathConfig::legacy());
+}
+BENCHMARK(BM_MwpmDecodeSingleLegacy)->Arg(11)->Arg(15)->Arg(21);
+
+void
+BM_LutDecode(benchmark::State &state)
+{
+    // The lookup-table tier: one syndrome-indexed read per decode.
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const LookupTableDecoder lut(code, CheckType::Z);
+    Rng rng(11);
+    std::vector<std::vector<uint8_t>> syndromes;
+    for (int i = 0; i < 64; ++i) {
+        syndromes.push_back(sample_syndrome(code, 2, rng));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lut.decode_syndrome(syndromes[i++ & 63]));
+    }
+}
+BENCHMARK(BM_LutDecode)->Arg(3)->Arg(5);
 
 void
 BM_TierChainDeepDecode(benchmark::State &state)

@@ -68,33 +68,71 @@ echo "== Release smoke: shared-link fleet provisioning =="
 echo
 echo "== scenario API: btwc_run -> BENCH_scenario.json =="
 # Run a fast registry scenario through the unified front door and
-# archive its machine-readable Report — the seed of the BENCH_* perf
-# trajectory. The JSON must parse and carry the schema's three
-# required top-level sections.
-./build-release/btwc_run quick --threads 0 --json BENCH_scenario.json \
+# archive its machine-readable Report — the BENCH_* perf trajectory.
+# --threads 1 keeps the metrics machine-independent (shard count
+# changes the Monte-Carlo stream), which is what lets the btwc_diff
+# gate below compare against the committed artifact bit-exactly. The
+# JSON must parse and carry the schema's required top-level sections.
+FRESH_SCENARIO="build-release/BENCH_scenario.fresh.json"
+./build-release/btwc_run quick --threads 1 --json "${FRESH_SCENARIO}" \
     > /dev/null
 if command -v python3 > /dev/null 2>&1; then
-    python3 - <<'EOF'
+    python3 - "${FRESH_SCENARIO}" <<'EOF'
 import json
-with open("BENCH_scenario.json") as f:
+import sys
+with open(sys.argv[1]) as f:
     data = json.load(f)
-for key in ("scenario", "config", "metrics"):
+for key in ("scenario", "config", "metrics", "walltime"):
     assert key in data, f"BENCH_scenario.json missing '{key}'"
 assert data["scenario"]["kind"] == "lifetime", data["scenario"]
 assert data["metrics"]["cycles"] > 0, data["metrics"]
+assert data["walltime"]["walltime_ms"] > 0, data["walltime"]
 print("BENCH_scenario.json OK "
       f"(kind={data['scenario']['kind']}, "
-      f"cycles={data['metrics']['cycles']})")
+      f"cycles={data['metrics']['cycles']}, "
+      f"walltime_ms={data['walltime']['walltime_ms']:.1f})")
 EOF
 else
     # No python3: structural grep fallback on the stable key order.
-    for key in '"scenario"' '"config"' '"metrics"' '"cycles"'; do
-        grep -Fq "${key}" BENCH_scenario.json || {
+    for key in '"scenario"' '"config"' '"metrics"' '"walltime"'; do
+        grep -Fq "${key}" "${FRESH_SCENARIO}" || {
             echo "BENCH_scenario.json missing ${key}" >&2
             exit 1
         }
     done
     echo "BENCH_scenario.json OK (grep fallback)"
+fi
+
+echo
+echo "== perf trajectory gate: btwc_diff vs committed BENCH_scenario.json =="
+# The regression gate: the fresh Report's metrics subtree must match
+# the committed artifact exactly (counters) / within tolerance
+# (floats). Wall-clock lives under the sibling `walltime` subtree and
+# never trips the gate. The committed artifact is only touched by an
+# intentional refresh (the cp below, run by hand when a metrics
+# change is deliberate), never by a passing CI run — otherwise every
+# invocation would dirty the tree with machine-local walltime.
+./build-release/btwc_diff BENCH_scenario.json "${FRESH_SCENARIO}" || {
+    echo "metrics drifted; if intentional:" >&2
+    echo "  cp ${FRESH_SCENARIO} BENCH_scenario.json  # and commit" >&2
+    exit 1
+}
+
+echo
+echo "== micro benchmarks: micro_decoders -> BENCH_decoders.json =="
+# Matcher/decoder microbenchmarks join the perf trajectory next to the
+# scenario Report. --benchmark_min_time is pinned so archived numbers
+# are comparable across commits; the run lands in build-release/ (CI
+# artifact), and the committed BENCH_decoders.json snapshot is
+# refreshed by hand alongside hot-path changes. Skipped gracefully
+# when google-benchmark is absent (micro_decoders is not built then).
+if [[ -x build-release/micro_decoders ]]; then
+    ./build-release/micro_decoders \
+        --benchmark_filter='BM_MwpmDecodeSingle|BM_SpacetimeMwpmWindow|BM_MwpmDecodeBatch|BM_LutDecode' \
+        --benchmark_min_time=0.05 \
+        --json build-release/BENCH_decoders.json
+else
+    echo "micro_decoders not built (google-benchmark missing); skipped"
 fi
 echo
 echo "CI OK"

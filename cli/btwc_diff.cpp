@@ -1,0 +1,127 @@
+/**
+ * @file
+ * btwc_diff — the perf-trajectory regression gate.
+ *
+ * Compares a subtree (default: `metrics`) of two Report JSON files —
+ * typically the committed BENCH_scenario.json against a freshly
+ * generated one — and exits nonzero when they diverge beyond the
+ * tolerance. Counters (integer tokens) compare exactly: a seeded run
+ * is bit-reproducible, so any counter drift is a real behavior
+ * change. Float tokens go through a relative tolerance that absorbs
+ * printf round-trip noise. Wall-clock values never trip the gate:
+ * `run_scenario` emits them under the `walltime` subtree, a sibling
+ * of `metrics` (see src/api/README.md).
+ *
+ *     btwc_diff BENCH_scenario.json fresh.json
+ *     btwc_diff --tol 1e-6 base.json fresh.json
+ *     btwc_diff --subtree metrics.service base.json fresh.json
+ *     btwc_diff --subtree "" base.json fresh.json   # whole documents
+ *
+ * Exit codes: 0 = match, 1 = differences found, 2 = usage / I/O /
+ * parse error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/json_input.hpp"
+#include "api/report_diff.hpp"
+#include "common/parse.hpp"
+
+namespace {
+
+using namespace btwc;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: btwc_diff [--tol <rel>] [--subtree <dotted>] "
+        "<baseline.json> <fresh.json>\n"
+        "\n"
+        "  --tol <rel>       relative tolerance for float metrics "
+        "(default 1e-9;\n"
+        "                    integer counters always compare exactly)\n"
+        "  --subtree <path>  dotted subtree to compare (default "
+        "'metrics'; '' = whole file)\n"
+        "\n"
+        "exit: 0 = match, 1 = differences, 2 = error\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ReportDiffOptions options;
+    std::vector<std::string> files;
+    bool subtree_set = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tol") {
+            double tol = 0.0;
+            if (i + 1 >= argc || !parse_f64(argv[i + 1], &tol) ||
+                tol < 0.0) {
+                std::fprintf(stderr,
+                             "--tol requires a non-negative number\n");
+                return usage();
+            }
+            options.rel_tol = tol;
+            ++i;
+        } else if (arg == "--subtree") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--subtree requires a path\n");
+                return usage();
+            }
+            options.subtree = argv[i + 1];
+            subtree_set = true;
+            ++i;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage();
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    (void)subtree_set;
+    if (files.size() != 2) {
+        return usage();
+    }
+
+    JsonValue baseline;
+    JsonValue fresh;
+    std::string error;
+    if (!json_parse_file(files[0], &baseline, &error)) {
+        std::fprintf(stderr, "%s: %s\n", files[0].c_str(), error.c_str());
+        return 2;
+    }
+    if (!json_parse_file(files[1], &fresh, &error)) {
+        std::fprintf(stderr, "%s: %s\n", files[1].c_str(), error.c_str());
+        return 2;
+    }
+
+    const std::vector<ReportDiff> diffs =
+        diff_reports(baseline, fresh, options);
+    if (diffs.empty()) {
+        std::printf("btwc_diff: '%s' matches (%s vs %s, tol %g)\n",
+                    options.subtree.empty() ? "<document>"
+                                            : options.subtree.c_str(),
+                    files[0].c_str(), files[1].c_str(), options.rel_tol);
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "btwc_diff: %zu difference%s between %s and %s:\n",
+                 diffs.size(), diffs.size() == 1 ? "" : "s",
+                 files[0].c_str(), files[1].c_str());
+    for (const ReportDiff &diff : diffs) {
+        std::fprintf(stderr, "  %-40s %s -> %s\n", diff.path.c_str(),
+                     diff.baseline.c_str(), diff.fresh.c_str());
+    }
+    return 1;
+}

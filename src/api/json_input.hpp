@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace btwc {
+
+/**
+ * Minimal JSON reader for Report artifacts (`Report::to_json` output
+ * and google-benchmark's `--benchmark_out` files) — the input side of
+ * the BENCH_* perf-trajectory tooling. Supports the full JSON value
+ * grammar (objects, arrays, strings with escapes, numbers, booleans,
+ * null); object key order is preserved so diffs print in emission
+ * order. Numbers keep their raw token text: integer-valued tokens can
+ * be compared exactly (counters) while float tokens go through a
+ * tolerance (see api/report_diff.hpp).
+ *
+ * No external dependency: the repo builds in containers without a
+ * JSON library, and the subset needed here is small.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool b = false;
+    double number = 0.0;
+    std::string raw;     ///< number token as written ("3", "0.25", "1e-3")
+    std::string s;       ///< string payload (unescaped)
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** True when the number token has no fraction/exponent part. */
+    bool is_integer_token() const;
+
+    /** Object member by key, or nullptr (first match; objects keep order). */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Descend a dotted path ("metrics.service.landed") through nested
+     * objects; nullptr when any component is missing. An empty path
+     * returns `this`.
+     */
+    const JsonValue *find_path(const std::string &dotted_path) const;
+
+    /** Display name of a kind ("object", "number", ...). */
+    static const char *kind_name(Kind kind);
+};
+
+/**
+ * Parse a complete JSON document. Returns false on malformed input,
+ * leaving `out` untouched and storing a line-annotated diagnostic in
+ * `error` (when non-null); never terminates the process.
+ */
+bool json_parse(const std::string &text, JsonValue *out,
+                std::string *error);
+
+/**
+ * Read and parse a JSON file. Returns false with a diagnostic in
+ * `error` (when non-null) on I/O or parse failure.
+ */
+bool json_parse_file(const std::string &path, JsonValue *out,
+                     std::string *error);
+
+} // namespace btwc

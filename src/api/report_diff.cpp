@@ -1,0 +1,173 @@
+#include "api/report_diff.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+namespace btwc {
+
+namespace {
+
+std::string
+render(const JsonValue &value)
+{
+    switch (value.kind) {
+      case JsonValue::Kind::Null:
+        return "null";
+      case JsonValue::Kind::Bool:
+        return value.b ? "true" : "false";
+      case JsonValue::Kind::Number:
+        return value.raw;
+      case JsonValue::Kind::String:
+        return "\"" + value.s + "\"";
+      case JsonValue::Kind::Array:
+        return "<array[" + std::to_string(value.array.size()) + "]>";
+      case JsonValue::Kind::Object:
+        return "<object{" + std::to_string(value.object.size()) + "}>";
+    }
+    return "?";
+}
+
+std::string
+join(const std::string &path, const std::string &key)
+{
+    return path.empty() ? key : path + "." + key;
+}
+
+void
+add_diff(std::vector<ReportDiff> &diffs, const std::string &path,
+         const std::string &baseline, const std::string &fresh)
+{
+    diffs.push_back(ReportDiff{path, baseline, fresh});
+}
+
+/**
+ * Canonical form of an integer token: sign stripped of "+"/"-0",
+ * leading zeros dropped. Token comparison stays exact at any width —
+ * strtoll would saturate at INT64_MAX (ERANGE) and silently equate
+ * distinct uint64-range counters.
+ */
+std::string
+normalized_integer_token(const std::string &raw)
+{
+    size_t start = 0;
+    bool negative = false;
+    if (start < raw.size() && (raw[start] == '-' || raw[start] == '+')) {
+        negative = raw[start] == '-';
+        ++start;
+    }
+    while (start + 1 < raw.size() && raw[start] == '0') {
+        ++start;
+    }
+    const std::string digits = raw.substr(start);
+    if (digits == "0") {
+        return "0";
+    }
+    return negative ? "-" + digits : digits;
+}
+
+bool
+numbers_match(const JsonValue &a, const JsonValue &b, double rel_tol)
+{
+    if (a.is_integer_token() && b.is_integer_token()) {
+        // Counters: exact at any width (64-bit counters exceed what
+        // double — and int64 for the top bit — can hold).
+        return normalized_integer_token(a.raw) ==
+               normalized_integer_token(b.raw);
+    }
+    const double x = a.number;
+    const double y = b.number;
+    if (x == y) {
+        return true;
+    }
+    return std::abs(x - y) <=
+           rel_tol * std::max(std::abs(x), std::abs(y));
+}
+
+void
+diff_value(const JsonValue &a, const JsonValue &b, const std::string &path,
+           const ReportDiffOptions &options,
+           std::vector<ReportDiff> &diffs)
+{
+    if (a.kind != b.kind) {
+        add_diff(diffs, path, render(a) + " <" +
+                                  JsonValue::kind_name(a.kind) + ">",
+                 render(b) + " <" + JsonValue::kind_name(b.kind) + ">");
+        return;
+    }
+    switch (a.kind) {
+      case JsonValue::Kind::Object: {
+        // Key union in baseline-then-fresh order, each key once.
+        std::set<std::string> seen;
+        auto visit = [&](const std::string &key) {
+            if (!seen.insert(key).second) {
+                return;
+            }
+            const JsonValue *av = a.find(key);
+            const JsonValue *bv = b.find(key);
+            const std::string child = join(path, key);
+            if (av == nullptr) {
+                add_diff(diffs, child, "<missing>", render(*bv));
+            } else if (bv == nullptr) {
+                add_diff(diffs, child, render(*av), "<missing>");
+            } else {
+                diff_value(*av, *bv, child, options, diffs);
+            }
+        };
+        for (const auto &member : a.object) {
+            visit(member.first);
+        }
+        for (const auto &member : b.object) {
+            visit(member.first);
+        }
+        break;
+      }
+      case JsonValue::Kind::Array: {
+        if (a.array.size() != b.array.size()) {
+            add_diff(diffs, path, render(a), render(b));
+            return;
+        }
+        for (size_t i = 0; i < a.array.size(); ++i) {
+            diff_value(a.array[i], b.array[i],
+                       path + "[" + std::to_string(i) + "]", options,
+                       diffs);
+        }
+        break;
+      }
+      case JsonValue::Kind::Number:
+        if (!numbers_match(a, b, options.rel_tol)) {
+            add_diff(diffs, path, render(a), render(b));
+        }
+        break;
+      default:
+        if (render(a) != render(b)) {
+            add_diff(diffs, path, render(a), render(b));
+        }
+        break;
+    }
+}
+
+} // namespace
+
+std::vector<ReportDiff>
+diff_reports(const JsonValue &baseline, const JsonValue &fresh,
+             const ReportDiffOptions &options)
+{
+    std::vector<ReportDiff> diffs;
+    const JsonValue *a = baseline.find_path(options.subtree);
+    const JsonValue *b = fresh.find_path(options.subtree);
+    if (a == nullptr || b == nullptr) {
+        if (a != b) {
+            add_diff(diffs, options.subtree,
+                     a == nullptr ? "<missing>" : "<present>",
+                     b == nullptr ? "<missing>" : "<present>");
+        } else {
+            add_diff(diffs, options.subtree, "<missing>", "<missing>");
+        }
+        return diffs;
+    }
+    diff_value(*a, *b, options.subtree, options, diffs);
+    return diffs;
+}
+
+} // namespace btwc

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/json_input.hpp"
+
+namespace btwc {
+
+/** One difference found between two Report JSON documents. */
+struct ReportDiff
+{
+    std::string path;      ///< dotted path of the differing value
+    std::string baseline;  ///< rendered baseline value ("<missing>")
+    std::string fresh;     ///< rendered fresh value
+};
+
+/** Comparison policy for `diff_reports` (the btwc_diff gate). */
+struct ReportDiffOptions
+{
+    /**
+     * Subtree compared (dotted path into both documents). The default
+     * pins exactly the deterministic observables: `metrics` never
+     * contains wall-clock values — `run_scenario` emits those under
+     * the sibling `walltime` subtree for precisely this reason (see
+     * src/api/README.md). Empty = compare whole documents.
+     */
+    std::string subtree = "metrics";
+
+    /**
+     * Relative tolerance for float-token numbers:
+     * |a - b| <= rel_tol * max(|a|, |b|). Integer-token numbers
+     * (Monte-Carlo counters) always compare exactly — a seeded run is
+     * bit-reproducible, so any counter drift is a real behavior
+     * change. The default absorbs only printf round-trip noise.
+     */
+    double rel_tol = 1e-9;
+};
+
+/**
+ * Structural comparison of two parsed Report JSON documents under the
+ * policy above: objects compare by key union (a key missing on either
+ * side is a difference — schema drift should fail the gate loudly),
+ * arrays element-wise, bools/strings/nulls exactly, numbers per the
+ * integer/float rule. Returns every difference in emission order;
+ * empty result == reports agree.
+ */
+std::vector<ReportDiff> diff_reports(const JsonValue &baseline,
+                                     const JsonValue &fresh,
+                                     const ReportDiffOptions &options);
+
+} // namespace btwc

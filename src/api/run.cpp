@@ -1,8 +1,40 @@
 #include "api/run.hpp"
 
+#include <chrono>
+
 namespace btwc {
 
 namespace {
+
+/**
+ * Wall-clock of the harness call proper (config adaptation and Report
+ * assembly excluded). Lives in its own top-level subtree — a sibling
+ * of `metrics`, never inside it — so the bit-exactness tests and the
+ * `btwc_diff` regression gate can compare `metrics` subtrees without
+ * tripping over timing noise (see src/api/README.md).
+ */
+class HarnessTimer
+{
+  public:
+    HarnessTimer() : t0_(std::chrono::steady_clock::now()) {}
+
+    /** Stop and record: walltime_ms plus `count/sec` under `rate_key`. */
+    void fill(Report &report, const char *rate_key, uint64_t count) const
+    {
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0_)
+                .count();
+        Report &wall = report.child("walltime");
+        wall.set("walltime_ms", ms);
+        wall.set(rate_key,
+                 ms > 0.0 ? static_cast<double>(count) / (ms / 1000.0)
+                          : 0.0);
+    }
+
+  private:
+    std::chrono::steady_clock::time_point t0_;
+};
 
 /** Histogram summary with the percentiles the provisioning story uses. */
 void
@@ -56,6 +88,7 @@ lifetime_metrics_report(const LifetimeStats &stats)
     tiers.set("union_find", stats.tier_halves[1]);
     tiers.set("mwpm", stats.tier_halves[2]);
     tiers.set("exact", stats.tier_halves[3]);
+    tiers.set("lut", stats.tier_halves[4]);
     metrics.set("coverage_per_decode", stats.coverage_per_decode());
     metrics.set("coverage_per_cycle", stats.coverage());
     metrics.set("onchip_nonzero_fraction",
@@ -160,7 +193,10 @@ run_lifetime_scenario(const ScenarioSpec &spec)
     conf.set("offchip_bandwidth", config.offchip_bandwidth);
     conf.set("offchip_batch", config.offchip_batch);
     fill_engine(conf, config.threads, config.seed);
-    report.child("metrics") = lifetime_metrics_report(run_lifetime(config));
+    const HarnessTimer timer;
+    const LifetimeStats stats = run_lifetime(config);
+    report.child("metrics") = lifetime_metrics_report(stats);
+    timer.fill(report, "cycles_per_sec", stats.cycles);
     return report;
 }
 
@@ -184,8 +220,10 @@ run_memory_scenario(const ScenarioSpec &spec)
     conf.set("max_trials", config.max_trials);
     conf.set("target_failures", config.target_failures);
     fill_engine(conf, config.threads, config.seed);
-    report.child("metrics") =
-        memory_metrics_report(run_memory_experiment(config, spec.arm));
+    const HarnessTimer timer;
+    const MemoryResult result = run_memory_experiment(config, spec.arm);
+    report.child("metrics") = memory_metrics_report(result);
+    timer.fill(report, "decodes_per_sec", result.trials);
     return report;
 }
 
@@ -206,6 +244,7 @@ run_fleet_scenario(const ScenarioSpec &spec)
     conf.set("bandwidth", spec.service.bandwidth);
     fill_engine(conf, config.threads, config.seed);
     Report &metrics = report.child("metrics");
+    const HarnessTimer timer;
     if (spec.service.bandwidth > 0) {
         // A provisioned link: the Fig. 16 stall/backlog observables.
         // The demand stream is consumed by the link run itself, so an
@@ -218,6 +257,7 @@ run_fleet_scenario(const ScenarioSpec &spec)
     } else {
         add_histogram(metrics, "demand", fleet_demand_histogram(config));
     }
+    timer.fill(report, "cycles_per_sec", config.cycles);
     return report;
 }
 
@@ -239,8 +279,10 @@ run_exact_fleet_scenario(const ScenarioSpec &spec)
     conf.set("offchip_bandwidth", config.offchip_bandwidth);
     conf.set("offchip_batch", config.offchip_batch);
     fill_engine(conf, config.threads, config.seed);
-    report.child("metrics") =
-        exact_fleet_metrics_report(fleet_demand_exact_stats(config));
+    const HarnessTimer timer;
+    const ExactFleetStats stats = fleet_demand_exact_stats(config);
+    report.child("metrics") = exact_fleet_metrics_report(stats);
+    timer.fill(report, "cycles_per_sec", config.cycles);
     return report;
 }
 

@@ -46,6 +46,9 @@ tiers_spec_string(const TierChainConfig &config)
           case DecoderTier::Exact:
             out += "exact";
             break;
+          case DecoderTier::Lut:
+            out += "lut";
+            break;
         }
         // Union-Find thresholds are always explicit (a bare "uf" would
         // re-parse under the caller's uf_threshold default); the other
@@ -313,7 +316,7 @@ is_tier_token(const std::string &token)
     }
     return name == "clique" || name == "uf" || name == "union-find" ||
            name == "unionfind" || name == "mwpm" || name == "matching" ||
-           name == "exact";
+           name == "exact" || name == "lut";
 }
 
 /**

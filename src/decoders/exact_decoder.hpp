@@ -18,10 +18,18 @@ namespace btwc {
 class ExactDecoder : public MwpmDecoder
 {
   public:
+    /**
+     * Defaults to `FastPathConfig::oracle_only()`: O(1) oracle
+     * distances (bit-exact with the Dijkstra), but the *complete*
+     * defect graph in the rare > ~18-defect blossom fallback — a
+     * cross-validation oracle must not prune candidates, even
+     * provably-optimum-preserving ones.
+     */
     ExactDecoder(const RotatedSurfaceCode &code, CheckType detector,
-                 int space_weight = 1, int time_weight = 1)
+                 int space_weight = 1, int time_weight = 1,
+                 FastPathConfig fast = FastPathConfig::oracle_only())
         : MwpmDecoder(code, detector, space_weight, time_weight,
-                      Matcher::ExactDp)
+                      Matcher::ExactDp, fast)
     {
     }
 

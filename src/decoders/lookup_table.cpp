@@ -1,0 +1,69 @@
+#include "decoders/lookup_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "decoders/exact_decoder.hpp"
+
+namespace btwc {
+
+LookupTableDecoder::LookupTableDecoder(const RotatedSurfaceCode &code,
+                                       CheckType detector)
+    : code_(code), detector_(detector),
+      num_checks_(code.num_checks(detector)), num_data_(code.num_data())
+{
+    if (num_checks_ > kMaxTableChecks) {
+        return;  // too large to tabulate; decode() declines everything
+    }
+    const size_t entries = size_t(1) << num_checks_;
+    corrections_.assign(entries * static_cast<size_t>(num_data_), 0);
+    weights_.assign(entries, 0);
+
+    // One exact decode per syndrome. The oracle-backed exact matcher
+    // makes this cheap (a few milliseconds at d = 5); the table is
+    // exact because its teacher is.
+    const ExactDecoder teacher(code, detector);
+    std::vector<uint8_t> syndrome(static_cast<size_t>(num_checks_), 0);
+    for (size_t s = 0; s < entries; ++s) {
+        for (int c = 0; c < num_checks_; ++c) {
+            syndrome[c] = (s >> c) & 1 ? 1 : 0;
+        }
+        const Result fix = teacher.decode_syndrome(syndrome);
+        assert(fix.resolved);
+        std::copy(fix.correction.begin(), fix.correction.end(),
+                  corrections_.begin() + s * static_cast<size_t>(num_data_));
+        weights_[s] = fix.weight;
+    }
+}
+
+LookupTableDecoder::Result
+LookupTableDecoder::decode(const std::vector<DetectionEvent> &events,
+                           int rounds) const
+{
+    Result result;
+    result.correction.assign(static_cast<size_t>(num_data_), 0);
+    result.defects = static_cast<int>(events.size());
+    if (events.empty()) {
+        return result;
+    }
+    // The table indexes single-round syndromes only; decline
+    // multi-round windows (time-like pairings are not tabulated) and
+    // codes too large to tabulate, so the chain escalates.
+    if (!available() || rounds != 1) {
+        result.resolved = false;
+        return result;
+    }
+    size_t index = 0;
+    for (const DetectionEvent &event : events) {
+        assert(event.round == 0);
+        assert(event.check >= 0 && event.check < num_checks_);
+        index |= size_t(1) << event.check;
+    }
+    const uint8_t *entry =
+        &corrections_[index * static_cast<size_t>(num_data_)];
+    std::copy(entry, entry + num_data_, result.correction.begin());
+    result.weight = weights_[index];
+    return result;
+}
+
+} // namespace btwc

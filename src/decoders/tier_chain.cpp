@@ -5,6 +5,7 @@
 
 #include "decoders/clique_tier.hpp"
 #include "decoders/exact_decoder.hpp"
+#include "decoders/lookup_table.hpp"
 #include "matching/mwpm.hpp"
 #include "matching/union_find.hpp"
 
@@ -25,6 +26,8 @@ make_tier_decoder(DecoderTier kind, const RotatedSurfaceCode &code,
         return std::make_unique<MwpmDecoder>(code, detector);
       case DecoderTier::Exact:
         return std::make_unique<ExactDecoder>(code, detector);
+      case DecoderTier::Lut:
+        return std::make_unique<LookupTableDecoder>(code, detector);
     }
     return nullptr;
 }
@@ -43,6 +46,8 @@ decoder_tier_name(DecoderTier tier)
         return "mwpm";
       case DecoderTier::Exact:
         return "exact";
+      case DecoderTier::Lut:
+        return "lut";
     }
     return "?";
 }
@@ -69,6 +74,14 @@ TierSpec
 TierSpec::exact()
 {
     return TierSpec{DecoderTier::Exact, -1, true};
+}
+
+TierSpec
+TierSpec::lut()
+{
+    // One table index per decode: cheap enough to live on-chip (the
+    // hardware analogue is a syndrome-addressed ROM).
+    return TierSpec{DecoderTier::Lut, -1, false};
 }
 
 TierChainConfig
@@ -134,12 +147,14 @@ TierChainConfig::try_parse(const std::string &spec, int uf_threshold,
             tier = TierSpec::mwpm();
         } else if (token == "exact") {
             tier = TierSpec::exact();
+        } else if (token == "lut") {
+            tier = TierSpec::lut();
         } else {
             if (error != nullptr) {
                 *error = "unknown decoder tier '" + token +
                          "' in spec '" + spec +
                          "'; expected clique | uf | union-find | mwpm "
-                         "| exact (optionally ':<threshold>')";
+                         "| exact | lut (optionally ':<threshold>')";
             }
             return false;
         }

@@ -17,7 +17,11 @@ enum class DecoderTier : uint8_t
     UnionFind = 1,  ///< mid-tier cluster decoder (tier 1)
     Mwpm = 2,       ///< full matching decoder (final tier)
     Exact = 3,      ///< brute-force matching oracle (cross-validation)
+    Lut = 4,        ///< syndrome-indexed lookup table (small d, O(1))
 };
+
+/** Number of DecoderTier enumerators (per-tier stats array size). */
+constexpr int kNumDecoderTiers = 5;
 
 /** Display name of a tier. */
 const char *decoder_tier_name(DecoderTier tier);
@@ -51,6 +55,7 @@ struct TierSpec
     static TierSpec union_find(int escalation_threshold = 2);
     static TierSpec mwpm();
     static TierSpec exact();
+    static TierSpec lut();
 };
 
 /** An ordered decode hierarchy configuration. */
@@ -67,7 +72,7 @@ struct TierChainConfig
     /**
      * Parse a comma-separated tier spec, e.g. "clique,uf,mwpm" or
      * "clique,union-find:3,exact". Recognized tiers: clique | uf |
-     * union-find | mwpm | exact; an optional ":<n>" suffix sets the
+     * union-find | mwpm | exact | lut; an optional ":<n>" suffix sets the
      * tier's escalation threshold (defaulting to `uf_threshold` for
      * Union-Find tiers). An empty spec yields the legacy chain.
      * Returns false on a malformed spec, leaving `out` untouched and

@@ -9,24 +9,62 @@ namespace {
 constexpr int64_t kInf = int64_t(1) << 62;
 }
 
-MaxWeightMatching::MaxWeightMatching(int n) : n_(n), n_x_(n)
+MaxWeightMatching::MaxWeightMatching(int n)
 {
+    reset(n);
+}
+
+void
+MaxWeightMatching::reset(int n)
+{
+    assert(n >= 0);
+    n_ = n;
+    n_x_ = n;
     const int size = 2 * n_ + 1;
-    g_.assign(size, std::vector<Edge>(size));
+    if (capacity_ < size) {
+        // Grow path (rare): allocate and fully initialize. Edge
+        // endpoints are slot invariants, so later resets only need to
+        // clear weights.
+        capacity_ = size;
+        g_.assign(size, std::vector<Edge>(size));
+        for (int u = 0; u < size; ++u) {
+            for (int v = 0; v < size; ++v) {
+                g_[u][v] = Edge{u, v, 0};
+            }
+        }
+        lab_.assign(size, 0);
+        match_.assign(size, 0);
+        slack_.assign(size, 0);
+        st_.assign(size, 0);
+        pa_.assign(size, 0);
+        s_.assign(size, -1);
+        vis_.assign(size, 0);
+        visit_stamp_ = 0;
+        flower_.assign(size, {});
+        // Rows sized for the largest n this capacity can host, so a
+        // smaller later instance never outgrows them.
+        flower_from_.assign(size, std::vector<int>(n_ + 1, 0));
+        return;
+    }
+    // Reuse path: restore the canonical slot state `Edge{u, v, 0}`
+    // over the region this instance uses. Clearing the weight alone is
+    // not enough — `add_blossom` copies edges into blossom-slot rows
+    // (overwriting their endpoint fields), and a slot that served as a
+    // blossom for one instance can be a real vertex for the next.
+    // Entries beyond `size` from a larger earlier instance are never
+    // read (every loop is bounded by n_ / n_x_ <= 2n+1), and solve()
+    // reinitializes all per-run state over the full capacity.
     for (int u = 0; u < size; ++u) {
+        Edge *row = g_[u].data();
         for (int v = 0; v < size; ++v) {
-            g_[u][v] = Edge{u, v, 0};
+            row[v] = Edge{u, v, 0};
         }
     }
-    lab_.assign(size, 0);
-    match_.assign(size, 0);
-    slack_.assign(size, 0);
-    st_.assign(size, 0);
-    pa_.assign(size, 0);
-    s_.assign(size, -1);
-    vis_.assign(size, 0);
-    flower_.assign(size, {});
-    flower_from_.assign(size, std::vector<int>(n_ + 1, 0));
+    // The visit stamp must restart with its array: a persistent pooled
+    // matcher would otherwise march the int stamp toward overflow over
+    // millions of decodes (fresh instances restarted it implicitly).
+    visit_stamp_ = 0;
+    std::fill(vis_.begin(), vis_.end(), 0);
 }
 
 void

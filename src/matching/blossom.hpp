@@ -24,8 +24,24 @@ namespace btwc {
 class MaxWeightMatching
 {
   public:
+    /** Create an empty solver; call `reset(n)` before use. */
+    MaxWeightMatching() = default;
+
     /** Create an empty graph on n vertices (0-indexed externally). */
     explicit MaxWeightMatching(int n);
+
+    /**
+     * Re-arm the solver for a fresh n-vertex instance, reusing the
+     * grown capacity of every internal array (in particular the dense
+     * (2n+1)^2 edge matrix, the dominant per-solve allocation): once
+     * the instance has seen its largest n, subsequent reset/solve
+     * cycles are allocation-free. All edge weights are cleared; the
+     * result is indistinguishable from a freshly constructed
+     * MaxWeightMatching(n). This is what lets `MwpmDecoder` keep one
+     * persistent matcher per decoder instance instead of paying the
+     * matrix allocation on every decode.
+     */
+    void reset(int n);
 
     /** Set the weight of edge (u, v); w > 0 required, w == 0 removes. */
     void set_weight(int u, int v, int64_t w);
@@ -61,8 +77,9 @@ class MaxWeightMatching
     bool on_found_edge(const Edge &e);
     bool matching_phase();
 
-    int n_;    ///< number of real vertices
-    int n_x_;  ///< real vertices plus live blossoms
+    int n_ = 0;        ///< number of real vertices
+    int n_x_ = 0;      ///< real vertices plus live blossoms
+    int capacity_ = 0; ///< allocated array dimension (2 * max n + 1)
 
     std::vector<std::vector<Edge>> g_;
     std::vector<int64_t> lab_;

@@ -1,12 +1,90 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "decoders/decoder.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
+
+/**
+ * Fast-path knobs of `MwpmDecoder` (all on by default; the legacy
+ * configuration is the exact reference the property tests pin the
+ * fast path against, bit-for-bit).
+ */
+struct FastPathConfig
+{
+    /**
+     * Answer defect-defect and defect-boundary spacetime distances
+     * from the per-code precomputed tables
+     * (`RotatedSurfaceCode::check_distances`) in O(1) closed form —
+     * space hops plus time separation — instead of running one
+     * Dijkstra per defect, and recover correction paths by walking the
+     * same geodesics the Dijkstra parent trees encode (identical
+     * tie-breaking, so corrections are bit-exact). Only applies under
+     * unit `space_weight`/`time_weight` (the default, and the exact
+     * setting for the paper's p_data == p_meas model); non-unit
+     * weights always take the Dijkstra fallback.
+     */
+    bool distance_oracle = true;
+
+    /**
+     * Hand the blossom stage a sparse candidate edge set — per defect
+     * its nearest partners with boundary-dominated pairs pruned —
+     * instead of the complete defect graph. A dominated edge costs
+     * strictly more than the two boundary retirements it replaces, so
+     * it appears in *no* optimal matching: the pruning provably
+     * preserves the optimal-matching set, and the bit-exactness
+     * property tests pin that the solver's tie selection survives too
+     * (tests/test_fastpath.cpp, including a d = 13 / ~200-defect
+     * stress corpus). Boundary and twin edges are always kept, so a
+     * perfect matching always exists.
+     */
+    bool sparse_candidates = true;
+
+    /**
+     * Optional hard cap on candidate partners kept per defect;
+     * 0 (the default) means uncapped — domination pruning only,
+     * which is the bit-exact configuration. A positive cap bounds the
+     * candidate degree for very large instances but may select a
+     * *different equal-weight* matching once defect counts exceed it
+     * (observed from ~160 defects with knn = 16), so capped decoders
+     * trade the bit-exactness guarantee for bounded work — opt-in
+     * only.
+     */
+    int knn = 0;
+
+    /** The default: oracle distances + domination-pruned candidates. */
+    static FastPathConfig fast() { return FastPathConfig(); }
+
+    /**
+     * Oracle distances over the complete defect graph: for decoders
+     * that serve as exact references themselves (`ExactDecoder`),
+     * where even provably-optimum-preserving pruning is unwanted in
+     * the rare blossom fallback.
+     */
+    static FastPathConfig oracle_only()
+    {
+        FastPathConfig config;
+        config.sparse_candidates = false;
+        return config;
+    }
+
+    /**
+     * The pre-oracle reference configuration: per-defect Dijkstra and
+     * the complete defect graph. Kept as the exact baseline the
+     * property tests (tests/test_fastpath.cpp) compare against.
+     */
+    static FastPathConfig legacy()
+    {
+        FastPathConfig config;
+        config.distance_oracle = false;
+        config.sparse_candidates = false;
+        return config;
+    }
+};
 
 /**
  * Minimum Weight Perfect Matching decoder over the spacetime decoding
@@ -19,12 +97,21 @@ namespace btwc {
  * is exact for the paper's phenomenological model with equal data and
  * measurement error probabilities.
  *
- * Defect pairwise distances come from breadth-first search; the
- * pairing is solved with the configured `Matcher` backend: the blossom
- * algorithm (each defect also gets a zero-cost-interconnected boundary
- * twin, the standard construction for codes with boundaries), or the
- * brute-force subset DP of matching/exact.hpp, which is exact by
- * construction and backs the `ExactDecoder` cross-validation tier.
+ * Defect pairwise distances come from the precomputed distance oracle
+ * (surface/distance.hpp) under the default unit weights, or from
+ * per-defect Dijkstra otherwise (see `FastPathConfig`); the pairing is
+ * solved with the configured `Matcher` backend: the blossom algorithm
+ * (each defect also gets a zero-cost-interconnected boundary twin, the
+ * standard construction for codes with boundaries), or the brute-force
+ * subset DP of matching/exact.hpp, which is exact by construction and
+ * backs the `ExactDecoder` cross-validation tier.
+ *
+ * Hot-path contract: each decoder instance owns one persistent graph /
+ * matcher scratch (grown once, reused by every `decode` and
+ * `decode_batch` call), so steady-state decoding is allocation-free.
+ * Instances are therefore not safe for concurrent `decode` calls from
+ * multiple threads — the sharded Monte-Carlo engine gives every shard
+ * its own decoder stack, which is the intended usage.
  */
 class MwpmDecoder : public Decoder
 {
@@ -46,6 +133,7 @@ class MwpmDecoder : public Decoder
      * @param space_weight weight of space (data qubit) and boundary edges
      * @param time_weight  weight of time (measurement) edges
      * @param matcher      pairing engine (see Matcher)
+     * @param fast         fast-path knobs (see FastPathConfig)
      *
      * Unit weights are exact for the paper's p_data == p_meas model;
      * for asymmetric noise pass log-likelihood weights (see
@@ -53,7 +141,10 @@ class MwpmDecoder : public Decoder
      */
     MwpmDecoder(const RotatedSurfaceCode &code, CheckType detector,
                 int space_weight = 1, int time_weight = 1,
-                Matcher matcher = Matcher::Blossom);
+                Matcher matcher = Matcher::Blossom,
+                FastPathConfig fast = FastPathConfig());
+
+    ~MwpmDecoder() override;
 
     const char *name() const override { return "mwpm"; }
 
@@ -93,6 +184,16 @@ class MwpmDecoder : public Decoder
     int space_weight_;
     int time_weight_;
     Matcher matcher_;
+    FastPathConfig fast_;
+    /**
+     * Persistent per-instance working set (graph arrays + the pooled
+     * blossom matcher); every decode entry point routes through it, so
+     * single-shot `decode()` calls — the dominant `BtwcSystem`
+     * per-cycle path — reuse grown capacity instead of reallocating.
+     * Mutated under `const` decode; see the class comment for the
+     * (non-)thread-safety contract.
+     */
+    mutable std::unique_ptr<Scratch> scratch_;
 };
 
 /**

@@ -23,7 +23,7 @@ LifetimeStats::merge(const LifetimeStats &other)
     all_zero_halves += other.all_zero_halves;
     trivial_halves += other.trivial_halves;
     complex_halves += other.complex_halves;
-    for (size_t t = 0; t < 4; ++t) {
+    for (int t = 0; t < kNumDecoderTiers; ++t) {
         tier_halves[t] += other.tier_halves[t];
     }
     offchip_halves += other.offchip_halves;

@@ -1,0 +1,69 @@
+#include "surface/distance.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace btwc {
+
+CheckGraphDistances::CheckGraphDistances(const RotatedSurfaceCode &code,
+                                         CheckType type)
+    : n_(code.num_checks(type))
+{
+    assert(n_ > 0 &&
+           static_cast<size_t>(n_) <
+               std::numeric_limits<uint16_t>::max());
+    const size_t n = static_cast<size_t>(n_);
+    dist_.assign(n * n, 0);
+
+    // One BFS per source over the unit-weight check graph. The graph
+    // is connected (the test suite pins this via symmetry +
+    // reachability), so every slot is written.
+    std::vector<int> frontier;
+    frontier.reserve(n);
+    for (int src = 0; src < n_; ++src) {
+        uint16_t *dist = &dist_[static_cast<size_t>(src) * n];
+        std::vector<uint8_t> seen(n, 0);
+        frontier.clear();
+        frontier.push_back(src);
+        seen[src] = 1;
+        dist[src] = 0;
+        size_t head = 0;
+        while (head < frontier.size()) {
+            const int cur = frontier[head++];
+            for (const CliqueNeighbor &nb :
+                 code.clique_neighbors(type, cur)) {
+                if (!seen[nb.check]) {
+                    seen[nb.check] = 1;
+                    dist[nb.check] =
+                        static_cast<uint16_t>(dist[cur] + 1);
+                    frontier.push_back(nb.check);
+                }
+            }
+        }
+    }
+
+    // Nearest boundary-adjacent check per source, ties broken toward
+    // the smallest check id — the order Dijkstra settles equal-distance
+    // nodes in, which the fast path's boundary retirement must match.
+    boundary_hops_.assign(n, 0);
+    boundary_check_.assign(n, -1);
+    for (int src = 0; src < n_; ++src) {
+        int best_hops = std::numeric_limits<int>::max();
+        int best_check = -1;
+        for (int b = 0; b < n_; ++b) {
+            if (code.boundary_data(type, b).empty()) {
+                continue;
+            }
+            const int hops = distance(src, b);
+            if (hops < best_hops) {
+                best_hops = hops;
+                best_check = b;
+            }
+        }
+        assert(best_check >= 0 && "every check graph has a boundary");
+        boundary_hops_[src] = static_cast<uint16_t>(best_hops);
+        boundary_check_[src] = best_check;
+    }
+}
+
+} // namespace btwc

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "surface/distance.hpp"
+
 namespace btwc {
 
 const char *
@@ -138,6 +140,18 @@ RotatedSurfaceCode::build_cliques()
             }
         }
     }
+}
+
+RotatedSurfaceCode::~RotatedSurfaceCode() = default;
+
+const CheckGraphDistances &
+RotatedSurfaceCode::check_distances(CheckType t) const
+{
+    const int i = index(t);
+    std::call_once(distances_once_[i], [this, t, i] {
+        distances_[i] = std::make_unique<CheckGraphDistances>(*this, t);
+    });
+    return *distances_[i];
 }
 
 int

@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 namespace btwc {
+
+class CheckGraphDistances;
 
 /**
  * Stabilizer (ancilla) type of the rotated surface code.
@@ -83,6 +87,13 @@ class RotatedSurfaceCode
   public:
     /** Build the lattice for the given odd distance >= 3. */
     explicit RotatedSurfaceCode(int distance);
+
+    ~RotatedSurfaceCode();
+
+    // The lazily-built distance tables carry a once_flag, so the code
+    // is addressed by reference everywhere (as it always was).
+    RotatedSurfaceCode(const RotatedSurfaceCode &) = delete;
+    RotatedSurfaceCode &operator=(const RotatedSurfaceCode &) = delete;
 
     /** Code distance d. */
     int distance() const { return d_; }
@@ -176,6 +187,16 @@ class RotatedSurfaceCode
     bool logical_flipped(CheckType error_type,
                          const std::vector<uint8_t> &error) const;
 
+    /**
+     * Precomputed matching-graph geometry of one check type
+     * (surface/distance.hpp): all-pairs check hop distances plus
+     * per-check boundary hops — the spacetime distance oracle behind
+     * `MwpmDecoder`'s fast path. Built lazily on first request
+     * (thread-safe), so Clique-only and Oracle-policy runs never pay
+     * the O(num_checks^2) table.
+     */
+    const CheckGraphDistances &check_distances(CheckType t) const;
+
   private:
     static int index(CheckType t) { return static_cast<int>(t); }
 
@@ -190,6 +211,8 @@ class RotatedSurfaceCode
     std::vector<std::vector<CliqueNeighbor>> clique_[2];
     std::vector<std::vector<int>> boundary_[2];
     std::vector<int> logical_[2];
+    mutable std::once_flag distances_once_[2];
+    mutable std::unique_ptr<CheckGraphDistances> distances_[2];
 };
 
 } // namespace btwc

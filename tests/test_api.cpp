@@ -87,6 +87,19 @@ TEST(ScenarioSpec, TierListRoundTripsIndependentOfUfDefault)
     EXPECT_EQ(reparsed.tiers.describe(), "clique>union-find(5)>mwpm");
 }
 
+TEST(ScenarioSpec, LutTierRoundTripsThroughTheGrammar)
+{
+    // `lut` participates in the tiers sub-grammar like any other
+    // token, including as a bare continuation after `tiers=`.
+    const ScenarioSpec spec =
+        ScenarioSpec::parse("d=3,tiers=lut,mwpm,cycles=100");
+    EXPECT_EQ(spec.tiers.describe(), "lut>mwpm");
+    EXPECT_EQ(spec.engine.cycles, 100u);
+    const ScenarioSpec reparsed = ScenarioSpec::parse(spec.to_string());
+    EXPECT_EQ(reparsed, spec);
+    EXPECT_EQ(reparsed.tiers.describe(), "lut>mwpm");
+}
+
 TEST(ScenarioSpec, RejectsMalformedSpecs)
 {
     const std::vector<std::string> bad = {
@@ -389,6 +402,7 @@ TEST(ReportSchema, LifetimeKeysAreStable)
         "metrics.complex_halves", "metrics.offchip_halves",
         "metrics.tier_halves.clique", "metrics.tier_halves.union_find",
         "metrics.tier_halves.mwpm", "metrics.tier_halves.exact",
+        "metrics.tier_halves.lut",
         "metrics.coverage_per_decode", "metrics.coverage_per_cycle",
         "metrics.onchip_nonzero_fraction", "metrics.offchip_fraction",
         "metrics.midtier_absorption", "metrics.clique_data_reduction",
@@ -397,6 +411,7 @@ TEST(ReportSchema, LifetimeKeysAreStable)
         "metrics.service.mean_queue_delay",
         "metrics.service.p99_queue_delay",
         "metrics.service.mean_link_batch",
+        "walltime.walltime_ms", "walltime.cycles_per_sec",
     };
     EXPECT_EQ(flat_keys(report), expected);
 }
@@ -415,6 +430,7 @@ TEST(ReportSchema, MemoryKeysAreStable)
         "metrics.ler_ci_lo", "metrics.ler_ci_hi",
         "metrics.offchip_rounds", "metrics.total_rounds",
         "metrics.offchip_round_fraction", "metrics.unclear_syndromes",
+        "walltime.walltime_ms", "walltime.decodes_per_sec",
     };
     EXPECT_EQ(flat_keys(report), expected);
 }

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the perf-trajectory tooling: the minimal JSON reader
+ * (api/json_input.hpp) and the Report metrics differ
+ * (api/report_diff.hpp) behind the `btwc_diff` CLI gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/json_input.hpp"
+#include "api/report.hpp"
+#include "api/report_diff.hpp"
+#include "api/run.hpp"
+#include "api/scenario.hpp"
+
+namespace btwc {
+namespace {
+
+JsonValue
+parse_ok(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_TRUE(json_parse(text, &value, &error)) << error;
+    return value;
+}
+
+// ------------------------------------------------------- JSON reader
+
+TEST(JsonInput, ParsesScalarsArraysAndNestedObjects)
+{
+    const JsonValue doc = parse_ok(
+        "{\"a\": 1, \"b\": -2.5e3, \"c\": \"x\\\"y\\n\", "
+        "\"d\": [true, false, null], \"e\": {\"f\": 0}}");
+    ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+    ASSERT_EQ(doc.object.size(), 5u);
+    EXPECT_TRUE(doc.find("a")->is_integer_token());
+    EXPECT_EQ(doc.find("a")->number, 1.0);
+    EXPECT_FALSE(doc.find("b")->is_integer_token());
+    EXPECT_EQ(doc.find("b")->number, -2500.0);
+    EXPECT_EQ(doc.find("c")->s, "x\"y\n");
+    ASSERT_EQ(doc.find("d")->array.size(), 3u);
+    EXPECT_EQ(doc.find("d")->array[0].kind, JsonValue::Kind::Bool);
+    EXPECT_EQ(doc.find("d")->array[2].kind, JsonValue::Kind::Null);
+    EXPECT_EQ(doc.find_path("e.f")->number, 0.0);
+    EXPECT_EQ(doc.find_path("e.g"), nullptr);
+    EXPECT_EQ(doc.find_path(""), &doc);
+}
+
+TEST(JsonInput, PreservesKeyOrderAndRawNumberTokens)
+{
+    const JsonValue doc =
+        parse_ok("{\"z\": 10000000000000000001, \"a\": 0.25}");
+    EXPECT_EQ(doc.object[0].first, "z");
+    EXPECT_EQ(doc.object[1].first, "a");
+    // Raw token survives even where double would round (> 2^53).
+    EXPECT_EQ(doc.find("z")->raw, "10000000000000000001");
+}
+
+TEST(JsonInput, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "{\"a\": }", "{\"a\": 1,}", "[1, 2", "{\"a\" 1}",
+          "{\"a\": 1} trailing", "{\"a\": \"unterminated}",
+          "{\"a\": 12x}"}) {
+        JsonValue value;
+        std::string error;
+        EXPECT_FALSE(json_parse(bad, &value, &error)) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(JsonInput, RoundTripsARealScenarioReport)
+{
+    const Report report = run_scenario(
+        ScenarioSpec::parse("kind=lifetime,d=3,cycles=200"));
+    const JsonValue doc = parse_ok(report.to_json());
+    // The three schema sections plus the walltime subtree parse back.
+    for (const char *key :
+         {"scenario", "config", "metrics", "walltime"}) {
+        EXPECT_NE(doc.find(key), nullptr) << key;
+    }
+    uint64_t cycles = 0;
+    ASSERT_TRUE(report.lookup_uint("metrics.cycles", &cycles));
+    EXPECT_EQ(doc.find_path("metrics.cycles")->number,
+              static_cast<double>(cycles));
+    EXPECT_TRUE(doc.find_path("metrics.cycles")->is_integer_token());
+    EXPECT_GT(doc.find_path("walltime.walltime_ms")->number, 0.0);
+}
+
+// ------------------------------------------------------- the differ
+
+TEST(ReportDiff, IdenticalMetricsCompareClean)
+{
+    const JsonValue a = parse_ok(
+        "{\"metrics\": {\"n\": 3, \"x\": 0.5, \"s\": \"inf\", "
+        "\"sub\": {\"m\": 7}}, \"walltime\": {\"walltime_ms\": 1.5}}");
+    const JsonValue b = parse_ok(
+        "{\"metrics\": {\"n\": 3, \"x\": 0.5, \"s\": \"inf\", "
+        "\"sub\": {\"m\": 7}}, \"walltime\": {\"walltime_ms\": 99.0}}");
+    // walltime differs wildly but sits outside the compared subtree.
+    EXPECT_TRUE(diff_reports(a, b, ReportDiffOptions()).empty());
+}
+
+TEST(ReportDiff, CounterDriftIsExactAndFloatsUseTolerance)
+{
+    const JsonValue a =
+        parse_ok("{\"metrics\": {\"n\": 1000, \"x\": 0.123456789}}");
+    const JsonValue close = parse_ok(
+        "{\"metrics\": {\"n\": 1000, \"x\": 0.12345678900000001}}");
+    const JsonValue counter_off =
+        parse_ok("{\"metrics\": {\"n\": 1001, \"x\": 0.123456789}}");
+    const JsonValue float_off =
+        parse_ok("{\"metrics\": {\"n\": 1000, \"x\": 0.125}}");
+    ReportDiffOptions options;
+    EXPECT_TRUE(diff_reports(a, close, options).empty());
+    const auto counter_diffs = diff_reports(a, counter_off, options);
+    ASSERT_EQ(counter_diffs.size(), 1u);
+    EXPECT_EQ(counter_diffs[0].path, "metrics.n");
+    const auto float_diffs = diff_reports(a, float_off, options);
+    ASSERT_EQ(float_diffs.size(), 1u);
+    EXPECT_EQ(float_diffs[0].path, "metrics.x");
+    // A loose tolerance admits the float drift but counters stay exact.
+    options.rel_tol = 0.5;
+    EXPECT_TRUE(diff_reports(a, float_off, options).empty());
+    EXPECT_EQ(diff_reports(a, counter_off, options).size(), 1u);
+}
+
+TEST(ReportDiff, Uint64RangeCountersCompareExactly)
+{
+    // Token-level comparison: counters above INT64_MAX (where strtoll
+    // would saturate and equate everything) and above 2^53 (where
+    // double rounds) still diff exactly; cosmetic sign/zero variants
+    // still match.
+    const JsonValue a =
+        parse_ok("{\"metrics\": {\"n\": 18446744073709551615}}");
+    const JsonValue off =
+        parse_ok("{\"metrics\": {\"n\": 18446744073709551614}}");
+    const JsonValue same =
+        parse_ok("{\"metrics\": {\"n\": 018446744073709551615}}");
+    EXPECT_EQ(diff_reports(a, off, ReportDiffOptions()).size(), 1u);
+    EXPECT_TRUE(diff_reports(a, same, ReportDiffOptions()).empty());
+    const JsonValue zero = parse_ok("{\"metrics\": {\"n\": 0}}");
+    const JsonValue neg_zero = parse_ok("{\"metrics\": {\"n\": -0}}");
+    EXPECT_TRUE(diff_reports(zero, neg_zero, ReportDiffOptions()).empty());
+}
+
+TEST(ReportDiff, MissingKeysAndTypeChangesAreLoud)
+{
+    const JsonValue a =
+        parse_ok("{\"metrics\": {\"n\": 1, \"gone\": 2}}");
+    const JsonValue b =
+        parse_ok("{\"metrics\": {\"n\": \"1\", \"new\": 3}}");
+    const auto diffs = diff_reports(a, b, ReportDiffOptions());
+    ASSERT_EQ(diffs.size(), 3u);
+    EXPECT_EQ(diffs[0].path, "metrics.n");  // number vs string
+    EXPECT_EQ(diffs[1].path, "metrics.gone");
+    EXPECT_EQ(diffs[1].fresh, "<missing>");
+    EXPECT_EQ(diffs[2].path, "metrics.new");
+    EXPECT_EQ(diffs[2].baseline, "<missing>");
+}
+
+TEST(ReportDiff, MissingSubtreeFailsInsteadOfVacuouslyPassing)
+{
+    const JsonValue a = parse_ok("{\"metrics\": {\"n\": 1}}");
+    const JsonValue no_metrics = parse_ok("{\"scenario\": {}}");
+    EXPECT_EQ(diff_reports(a, no_metrics, ReportDiffOptions()).size(),
+              1u);
+    EXPECT_EQ(
+        diff_reports(no_metrics, no_metrics, ReportDiffOptions()).size(),
+        1u);
+}
+
+TEST(ReportDiff, EmptySubtreeComparesWholeDocumentsIncludingArrays)
+{
+    ReportDiffOptions options;
+    options.subtree = "";
+    const JsonValue a = parse_ok("{\"rows\": [[1, 2], [3, 4]]}");
+    const JsonValue same = parse_ok("{\"rows\": [[1, 2], [3, 4]]}");
+    const JsonValue reordered = parse_ok("{\"rows\": [[1, 2], [4, 3]]}");
+    const JsonValue shorter = parse_ok("{\"rows\": [[1, 2]]}");
+    EXPECT_TRUE(diff_reports(a, same, options).empty());
+    EXPECT_EQ(diff_reports(a, reordered, options).size(), 2u);
+    EXPECT_EQ(diff_reports(a, shorter, options).size(), 1u);
+}
+
+TEST(ReportDiff, ScenarioRerunsAreBitIdenticalUnderTheGate)
+{
+    // The property the ci.sh gate relies on: two runs of the same
+    // seeded scenario agree on every metric (walltime excluded by
+    // subtree construction).
+    const char *spec = "kind=lifetime,d=3,cycles=300,seed=5";
+    const JsonValue a =
+        parse_ok(run_scenario(ScenarioSpec::parse(spec)).to_json());
+    const JsonValue b =
+        parse_ok(run_scenario(ScenarioSpec::parse(spec)).to_json());
+    EXPECT_TRUE(diff_reports(a, b, ReportDiffOptions()).empty());
+    // And the full-document compare catches only the walltime subtree.
+    ReportDiffOptions whole;
+    whole.subtree = "";
+    for (const ReportDiff &diff : diff_reports(a, b, whole)) {
+        EXPECT_EQ(diff.path.rfind("walltime.", 0), 0u) << diff.path;
+    }
+}
+
+} // namespace
+} // namespace btwc
