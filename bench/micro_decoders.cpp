@@ -24,6 +24,7 @@
 #include "matching/union_find.hpp"
 #include "surface/frame.hpp"
 #include "surface/lattice.hpp"
+#include "surface/packed.hpp"
 
 namespace {
 
@@ -136,6 +137,123 @@ BM_UnionFindDecodeSyndrome(benchmark::State &state)
     }
 }
 BENCHMARK(BM_UnionFindDecodeSyndrome)->Arg(5)->Arg(9)->Arg(21);
+
+/**
+ * The packed-fast-path trio (byte baseline vs word-parallel packed,
+ * same pre-sampled inputs): Clique screening, the Union-Find mid-tier
+ * and noisy syndrome extraction. The acceptance bar is >= 2x on the
+ * Clique screen and UF decode at d = 21; see the archived
+ * BENCH_decoders.json for the measured trajectory.
+ */
+void
+BM_CliqueScreenByte(benchmark::State &state)
+{
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const CliqueDecoder clique(code, CheckType::Z);
+    Rng rng(12);
+    std::vector<std::vector<uint8_t>> syndromes;
+    for (int i = 0; i < 64; ++i) {
+        syndromes.push_back(sample_syndrome(code, 2, rng));
+    }
+    CliqueOutcome outcome;
+    size_t i = 0;
+    for (auto _ : state) {
+        clique.decode(syndromes[i++ & 63], outcome);
+        benchmark::DoNotOptimize(outcome.verdict);
+    }
+}
+BENCHMARK(BM_CliqueScreenByte)->Arg(9)->Arg(21);
+
+void
+BM_CliqueScreenPacked(benchmark::State &state)
+{
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const CliqueDecoder clique(code, CheckType::Z);
+    Rng rng(12);
+    std::vector<PackedSyndrome> syndromes(64);
+    for (int i = 0; i < 64; ++i) {
+        syndromes[i].from_bytes(sample_syndrome(code, 2, rng));
+    }
+    PackedBits correction;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            clique.decode_packed(syndromes[i++ & 63], correction));
+    }
+}
+BENCHMARK(BM_CliqueScreenPacked)->Arg(9)->Arg(21);
+
+void
+BM_UnionFindDecodeByte(benchmark::State &state)
+{
+    // The original allocate-per-call implementation, kept as the
+    // pinned reference (UnionFindDecoder::decode_reference).
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const UnionFindDecoder uf(code, CheckType::Z);
+    Rng rng(13);
+    std::vector<std::vector<DetectionEvent>> events;
+    for (int i = 0; i < 64; ++i) {
+        events.push_back(events_from_syndrome(
+            sample_syndrome(code, state.range(0) / 2, rng)));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(uf.decode_reference(events[i++ & 63], 1));
+    }
+}
+BENCHMARK(BM_UnionFindDecodeByte)->Arg(9)->Arg(21);
+
+void
+BM_UnionFindDecodePacked(benchmark::State &state)
+{
+    // The packed fast path: cached topology, bitset cluster state,
+    // pooled scratch (bit-exact with the byte reference).
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    const UnionFindDecoder uf(code, CheckType::Z);
+    Rng rng(13);
+    std::vector<std::vector<DetectionEvent>> events;
+    for (int i = 0; i < 64; ++i) {
+        events.push_back(events_from_syndrome(
+            sample_syndrome(code, state.range(0) / 2, rng)));
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(uf.decode(events[i++ & 63], 1));
+    }
+}
+BENCHMARK(BM_UnionFindDecodePacked)->Arg(9)->Arg(21);
+
+void
+BM_SyndromeExtractByte(benchmark::State &state)
+{
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    ErrorFrame frame(code, CheckType::X);
+    Rng rng(14);
+    frame.inject(5e-3, rng);
+    std::vector<uint8_t> syndrome;
+    for (auto _ : state) {
+        frame.measure(1e-3, rng, syndrome);
+        benchmark::DoNotOptimize(syndrome.data());
+    }
+}
+BENCHMARK(BM_SyndromeExtractByte)->Arg(9)->Arg(21);
+
+void
+BM_SyndromeExtractPacked(benchmark::State &state)
+{
+    // Sparse extraction off the packed error frame: O(weight) check
+    // flips instead of an O(num_data) byte scan.
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    ErrorFrame frame(code, CheckType::X);
+    Rng rng(14);
+    frame.inject(5e-3, rng);
+    PackedSyndrome syndrome;
+    for (auto _ : state) {
+        frame.measure_packed(1e-3, rng, syndrome);
+        benchmark::DoNotOptimize(syndrome.data());
+    }
+}
+BENCHMARK(BM_SyndromeExtractPacked)->Arg(9)->Arg(21);
 
 void
 BM_BtwcSystemStep(benchmark::State &state)

@@ -82,6 +82,8 @@ usage()
         "                    \"d=9,p=5e-3,tiers=clique,uf:2,mwpm\"\n"
         "  --json PATH       write the uniform Report as JSON\n"
         "  --csv             CSV instead of the aligned table\n"
+        "  --repeat N        run N times, report the median-walltime\n"
+        "                    run (metrics are identical across runs)\n"
         "  plus any spec-key override flag (--cycles, --threads, ...)\n");
     return 2;
 }
@@ -96,7 +98,7 @@ void
 reject_unknown_flags(const btwc::Flags &flags)
 {
     static const char *const kOwnFlags[] = {"list", "csv", "json",
-                                            "spec"};
+                                            "spec", "repeat"};
     for (const std::string &name : flags.names()) {
         bool known = false;
         for (const char *own : kOwnFlags) {
@@ -166,7 +168,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    Report report = run_scenario(spec);
+    const int repeat = static_cast<int>(flags.get_int("repeat", 1));
+    if (repeat < 1) {
+        std::fprintf(stderr, "--repeat requires a positive count\n");
+        return 2;
+    }
+    Report report = repeat > 1 ? run_scenario_repeated(spec, repeat)
+                               : run_scenario(spec);
     if (!name.empty()) {
         report.child("scenario").set("name", name);
     }

@@ -1,6 +1,8 @@
 #include "api/run.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 namespace btwc {
 
@@ -302,6 +304,37 @@ run_scenario(const ScenarioSpec &spec)
         return run_exact_fleet_scenario(spec);
     }
     return Report();
+}
+
+Report
+run_scenario_repeated(const ScenarioSpec &spec, int repeat)
+{
+    if (repeat < 1) {
+        repeat = 1;
+    }
+    std::vector<Report> runs;
+    runs.reserve(static_cast<size_t>(repeat));
+    std::vector<double> walltimes;
+    walltimes.reserve(static_cast<size_t>(repeat));
+    for (int r = 0; r < repeat; ++r) {
+        runs.push_back(run_scenario(spec));
+        double ms = 0.0;
+        runs.back().lookup_double("walltime.walltime_ms", &ms);
+        walltimes.push_back(ms);
+    }
+    // Index of the lower-median walltime (sort indices, not Reports:
+    // Report is move-only and the metrics subtrees are identical).
+    std::vector<size_t> order(walltimes.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&walltimes](size_t a, size_t b) {
+        return walltimes[a] < walltimes[b];
+    });
+    const size_t median = order[(order.size() - 1) / 2];
+    Report report = std::move(runs[median]);
+    report.child("walltime").set("repeat", repeat);
+    return report;
 }
 
 } // namespace btwc

@@ -26,6 +26,17 @@ namespace btwc {
 Report run_scenario(const ScenarioSpec &spec);
 
 /**
+ * Run the scenario `repeat` times and return the run with the median
+ * wall-clock (the lower median for even `repeat`), its `walltime`
+ * subtree annotated with the repeat count under "repeat". The metrics
+ * subtrees of all runs are identical (the RNG stream is a function of
+ * the spec alone), so taking the median walltime changes nothing the
+ * btwc_diff gate compares while de-noising the BENCH trajectory's
+ * timing sidecar. `repeat <= 1` degrades to a single annotated run.
+ */
+Report run_scenario_repeated(const ScenarioSpec &spec, int repeat);
+
+/**
  * Metric subtrees of `run_scenario`, exposed so bench binaries can
  * embed the same stable schema in their own `--json` reports next to
  * their figure tables.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "surface/lattice.hpp"
+#include "surface/packed.hpp"
 
 namespace btwc {
 
@@ -39,6 +40,13 @@ struct CliqueOutcome
  *
  * The decision logic per clique is a handful of XOR/AND/NOT gates
  * (Fig. 6); `sfq/clique_circuit.hpp` emits exactly that netlist.
+ *
+ * Two evaluation paths share that contract bit-exactly (property
+ * tests): the legacy byte-per-check `decode`, and the word-parallel
+ * packed path (`decode_packed` / `would_raise_complex`) that iterates
+ * only the fired bits and evaluates each clique's neighborhood parity
+ * as one popcount over a precomputed per-check neighbor mask.
+ * Instances are not concurrency-safe (pooled byte-path scratch).
  */
 class CliqueDecoder
 {
@@ -59,6 +67,33 @@ class CliqueDecoder
     CliqueOutcome decode(const std::vector<uint8_t> &syndrome) const;
 
     /**
+     * As `decode`, but writing into a caller-owned outcome whose
+     * corrections capacity is reused: the allocation-free spelling for
+     * steady-state loops.
+     */
+    void decode(const std::vector<uint8_t> &syndrome,
+                CliqueOutcome &out) const;
+
+    /**
+     * Packed fast path: decode one packed syndrome, writing the
+     * correction as a per-data-qubit bit mask (resized/cleared here).
+     * The verdict, and the set of corrected qubits, are bit-exact with
+     * the byte `decode` — including the early exit on the first
+     * COMPLEX clique in ascending check order (the correction mask is
+     * all-zero then, like the byte path's cleared list).
+     */
+    CliqueVerdict decode_packed(const PackedSyndrome &syndrome,
+                                PackedBits &correction) const;
+
+    /**
+     * Word-parallel screening predicate: true iff `decode` would
+     * return a Complex verdict. The escalation decision alone, without
+     * materializing corrections — what a tier needs to route a
+     * signature off-chip.
+     */
+    bool would_raise_complex(const PackedSyndrome &syndrome) const;
+
+    /**
      * Gate-level decision for a single clique: true when check `a`
      * would raise the COMPLEX flag given the syndrome. Exposed for the
      * hardware generator and the exhaustive unit tests.
@@ -69,6 +104,15 @@ class CliqueDecoder
   private:
     const RotatedSurfaceCode &code_;
     CheckType detector_;
+    int num_checks_;
+    int syndrome_words_;
+    /** Per-check neighbor bit mask, `syndrome_words_` words per check:
+     * bit b of check c's mask is set iff b is a clique neighbor of c. */
+    std::vector<uint64_t> neighbor_masks_;
+    /** First boundary half-edge data qubit per check, or -1. */
+    std::vector<int> first_boundary_data_;
+    // Byte-path assert mask, pooled across decode calls.
+    mutable std::vector<uint8_t> assert_scratch_;
 };
 
 } // namespace btwc

@@ -48,4 +48,43 @@ MeasurementFilter::reset()
     std::fill(filtered_.begin(), filtered_.end(), 0);
 }
 
+PackedMeasurementFilter::PackedMeasurementFilter(int num_checks, int rounds)
+    : rounds_(rounds),
+      history_(static_cast<size_t>(rounds), PackedSyndrome(num_checks)),
+      filtered_(num_checks)
+{
+    assert(rounds >= 1);
+}
+
+const PackedSyndrome &
+PackedMeasurementFilter::push(const PackedSyndrome &raw)
+{
+    assert(raw.size() == filtered_.size());
+    history_[static_cast<size_t>(head_)] = raw;
+    head_ = (head_ + 1) % rounds_;
+    if (pushed_ < rounds_) {
+        ++pushed_;
+    }
+    if (pushed_ < rounds_) {
+        filtered_.clear();
+        return filtered_;
+    }
+    filtered_ = history_[0];
+    for (size_t r = 1; r < history_.size(); ++r) {
+        filtered_ &= history_[r];
+    }
+    return filtered_;
+}
+
+void
+PackedMeasurementFilter::reset()
+{
+    pushed_ = 0;
+    head_ = 0;
+    for (PackedSyndrome &round : history_) {
+        round.clear();
+    }
+    filtered_.clear();
+}
+
 } // namespace btwc

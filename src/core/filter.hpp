@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "surface/packed.hpp"
+
 namespace btwc {
 
 /**
@@ -51,6 +53,43 @@ class MeasurementFilter
     int pushed_ = 0;
     std::vector<std::vector<uint8_t>> history_;
     std::vector<uint8_t> filtered_;
+};
+
+/**
+ * Bit-packed counterpart of `MeasurementFilter`: the same persistence
+ * window over `PackedSyndrome` rounds, with the per-check AND replaced
+ * by one word-wide AND per 64 checks. Semantics are bit-exact with the
+ * byte filter (property tests), including the all-zero output until
+ * `rounds` rounds have been pushed. Allocation-free after
+ * construction: `push` copies into a preallocated ring slot.
+ */
+class PackedMeasurementFilter
+{
+  public:
+    explicit PackedMeasurementFilter(int num_checks, int rounds = 2);
+
+    /**
+     * Push one raw packed round and return the filtered syndrome (AND
+     * over the last `rounds` raw rounds; rounds before the first push
+     * count as all-zero).
+     */
+    const PackedSyndrome &push(const PackedSyndrome &raw);
+
+    /** Most recent filtered syndrome. */
+    const PackedSyndrome &filtered() const { return filtered_; }
+
+    /** Forget all history. */
+    void reset();
+
+    /** Configured persistence window. */
+    int rounds() const { return rounds_; }
+
+  private:
+    int rounds_;
+    int head_ = 0;
+    int pushed_ = 0;
+    std::vector<PackedSyndrome> history_;
+    PackedSyndrome filtered_;
 };
 
 } // namespace btwc

@@ -46,23 +46,21 @@ BtwcSystem::step()
         queued || config_.offchip == OffchipPolicy::Oracle;
 
     // Phase 1: noise injection + noisy measurement + filtering + tier
-    // chain classification for each half.
-    TierChain::Result outcomes[2];
+    // chain classification for each half — all on the packed fast
+    // path, so steady-state cycles allocate nothing here.
     for (int t = 0; t < num_types; ++t) {
         ErrorFrame &frame = frames_[t];
         Half &half = halves_[t];
         frame.inject(noise_.p_data, rng_);
-        frame.measure(noise_.p_meas, rng_, half.raw);
-        for (const uint8_t bit : half.raw) {
-            report.raw_weight += bit & 1;
-        }
-        const std::vector<uint8_t> &filtered = half.filter.push(half.raw);
-        outcomes[t] = half.chain.decode_syndrome(filtered, chain_options);
+        frame.measure_packed(noise_.p_meas, rng_, half.raw);
+        report.raw_weight += half.raw.popcount();
+        const PackedSyndrome &filtered = half.filter.push(half.raw);
+        half.chain.decode_syndrome(filtered, chain_options, half.outcome);
 
         const int detector = static_cast<int>(frame.detector());
-        report.type_verdict[detector] = classify_decode(outcomes[t]);
-        report.tier_used[detector] = outcomes[t].tier;
-        report.type_offchip[detector] = outcomes[t].offchip;
+        report.type_verdict[detector] = classify_decode(half.outcome);
+        report.tier_used[detector] = half.outcome.tier;
+        report.type_offchip[detector] = half.outcome.offchip;
     }
 
     // Combined verdict over both halves: the logical qubit's syndrome
@@ -77,7 +75,7 @@ BtwcSystem::step()
                    report.verdict == CliqueVerdict::AllZeros) {
             report.verdict = CliqueVerdict::Trivial;
         }
-        report.offchip |= outcomes[t].offchip;
+        report.offchip |= halves_[t].outcome.offchip;
     }
 
     // Phase 2: apply on-chip corrections and hand escalations to the
@@ -88,7 +86,7 @@ BtwcSystem::step()
     uint64_t fresh = 0;
     for (int t = 0; t < num_types; ++t) {
         ErrorFrame &frame = frames_[t];
-        TierChain::Result &outcome = outcomes[t];
+        TierChain::Result &outcome = halves_[t].outcome;
         if (outcome.decode.defects == 0) {
             continue;
         }
@@ -136,9 +134,11 @@ BtwcSystem::step()
                 request.half = t;
                 request.tier_index = outcome.tier_index;
                 request.oracle = config_.offchip == OffchipPolicy::Oracle;
-                request.payload = request.oracle
-                                      ? frame.error()
-                                      : halves_[t].filter.filtered();
+                if (request.oracle) {
+                    request.payload = frame.error();
+                } else {
+                    halves_[t].filter.filtered().to_bytes(request.payload);
+                }
                 shared_->enqueue(std::move(request));
                 half_busy_[t] = true;
                 ++report.queued;
@@ -146,9 +146,11 @@ BtwcSystem::step()
                 PendingDecode request;
                 request.half = t;
                 request.tier_index = outcome.tier_index;
-                request.payload = config_.offchip == OffchipPolicy::Oracle
-                                      ? frame.error()
-                                      : halves_[t].filter.filtered();
+                if (config_.offchip == OffchipPolicy::Oracle) {
+                    request.payload = frame.error();
+                } else {
+                    halves_[t].filter.filtered().to_bytes(request.payload);
+                }
                 waiting_.push_back(std::move(request));
                 half_busy_[t] = true;
                 ++fresh;

@@ -236,8 +236,13 @@ class BtwcSystem
         }
 
         TierChain chain;
-        MeasurementFilter filter;
-        std::vector<uint8_t> raw;
+        /** Packed per-cycle pipeline (measure_packed -> word-AND filter
+         * -> packed tier walk): nothing on this path allocates in
+         * steady state. */
+        PackedMeasurementFilter filter;
+        PackedSyndrome raw;
+        /** Pooled decode outcome, overwritten in place each cycle. */
+        TierChain::Result outcome;
     };
 
     /** An escalation waiting for link capacity. */

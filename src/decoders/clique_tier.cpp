@@ -20,21 +20,45 @@ CliqueTierDecoder::decode(const std::vector<DetectionEvent> &events,
         return result;
     }
 
-    std::vector<uint8_t> syndrome(
+    syndrome_scratch_.assign(
         static_cast<size_t>(code_.num_checks(detector())), 0);
     for (const DetectionEvent &ev : events) {
-        syndrome[ev.check] ^= 1;
+        syndrome_scratch_[ev.check] ^= 1;
     }
-    const CliqueOutcome outcome = clique_.decode(syndrome);
-    if (outcome.verdict == CliqueVerdict::Complex) {
+    clique_.decode(syndrome_scratch_, outcome_scratch_);
+    if (outcome_scratch_.verdict == CliqueVerdict::Complex) {
         result.resolved = false;
         return result;
     }
-    for (const int q : outcome.corrections) {
+    for (const int q : outcome_scratch_.corrections) {
         result.correction[q] ^= 1;
         ++result.weight;
     }
     return result;
+}
+
+void
+CliqueTierDecoder::decode_packed(const PackedSyndrome &syndrome,
+                                 Result &out) const
+{
+    out.correction.assign(static_cast<size_t>(code_.num_data()), 0);
+    out.weight = 0;
+    out.effort = 0;
+    out.resolved = true;
+    out.defects = syndrome.popcount();
+    if (out.defects == 0) {
+        return;  // nothing fired: resolved, nothing to do
+    }
+    const CliqueVerdict verdict =
+        clique_.decode_packed(syndrome, correction_scratch_);
+    if (verdict == CliqueVerdict::Complex) {
+        out.resolved = false;
+        return;
+    }
+    correction_scratch_.for_each_set([&out](int q) {
+        out.correction[q] = 1;
+        ++out.weight;
+    });
 }
 
 } // namespace btwc

@@ -37,12 +37,29 @@ class CliqueTierDecoder : public Decoder
     Result decode(const std::vector<DetectionEvent> &events,
                   int rounds) const override;
 
+    /**
+     * Word-parallel single-round fast path: the packed syndrome feeds
+     * `CliqueDecoder::decode_packed` directly (no event
+     * materialization, no byte rebuild) and the Result — verdict
+     * mapping included — is bit-identical to `decode` on the
+     * equivalent single-round event list. Reuses `out`'s correction
+     * capacity, so steady-state Trivial cycles allocate nothing.
+     */
+    void decode_packed(const PackedSyndrome &syndrome,
+                       Result &out) const override;
+    using Decoder::decode_packed;
+
     /** The wrapped combinational decoder. */
     const CliqueDecoder &clique() const { return clique_; }
 
   private:
     const RotatedSurfaceCode &code_;
     CliqueDecoder clique_;
+    // Pooled per-instance scratch (instances are not concurrency-safe,
+    // see Decoder::decode_packed).
+    mutable std::vector<uint8_t> syndrome_scratch_;
+    mutable CliqueOutcome outcome_scratch_;
+    mutable PackedBits correction_scratch_;
 };
 
 } // namespace btwc

@@ -6,12 +6,29 @@ std::vector<DetectionEvent>
 events_from_syndrome(const std::vector<uint8_t> &syndrome)
 {
     std::vector<DetectionEvent> events;
+    events_from_syndrome(syndrome, events);
+    return events;
+}
+
+void
+events_from_syndrome(const std::vector<uint8_t> &syndrome,
+                     std::vector<DetectionEvent> &out)
+{
+    out.clear();
     for (int c = 0; c < static_cast<int>(syndrome.size()); ++c) {
         if (syndrome[c] & 1) {
-            events.push_back(DetectionEvent{c, 0});
+            out.push_back(DetectionEvent{c, 0});
         }
     }
-    return events;
+}
+
+void
+events_from_packed(const PackedSyndrome &syndrome,
+                   std::vector<DetectionEvent> &out)
+{
+    out.clear();
+    syndrome.for_each_set(
+        [&out](int c) { out.push_back(DetectionEvent{c, 0}); });
 }
 
 std::vector<Decoder::Result>
@@ -29,7 +46,15 @@ Decoder::decode_batch(const std::vector<std::vector<DetectionEvent>> &batch,
 Decoder::Result
 Decoder::decode_syndrome(const std::vector<uint8_t> &syndrome) const
 {
-    return decode(events_from_syndrome(syndrome), 1);
+    events_from_syndrome(syndrome, events_scratch_);
+    return decode(events_scratch_, 1);
+}
+
+void
+Decoder::decode_packed(const PackedSyndrome &syndrome, Result &out) const
+{
+    events_from_packed(syndrome, events_scratch_);
+    out = decode(events_scratch_, 1);
 }
 
 } // namespace btwc

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "surface/lattice.hpp"
+#include "surface/packed.hpp"
 
 namespace btwc {
 
@@ -24,6 +25,21 @@ struct DetectionEvent
  */
 std::vector<DetectionEvent>
 events_from_syndrome(const std::vector<uint8_t> &syndrome);
+
+/**
+ * Allocation-free spelling: as above, but clearing and filling a
+ * caller-owned vector whose capacity persists across calls.
+ */
+void events_from_syndrome(const std::vector<uint8_t> &syndrome,
+                          std::vector<DetectionEvent> &out);
+
+/**
+ * Packed equivalent: one round-0 event per set syndrome bit, in
+ * ascending check order — the same event list (order included) the
+ * byte form produces for the equivalent byte syndrome.
+ */
+void events_from_packed(const PackedSyndrome &syndrome,
+                        std::vector<DetectionEvent> &out);
 
 /**
  * Abstract decoder-tier interface.
@@ -97,6 +113,35 @@ class Decoder
      * round of detection events. Shared by all backends.
      */
     Result decode_syndrome(const std::vector<uint8_t> &syndrome) const;
+
+    /**
+     * Packed single-round decode into a caller-owned Result whose
+     * vector capacity is reused (the allocation-free steady-state
+     * spelling: every field of `out` is overwritten). The base
+     * implementation unpacks into the pooled event scratch and runs
+     * `decode(events, 1)`, so the Result is bit-identical to
+     * `decode_syndrome` on the equivalent byte syndrome for every
+     * backend; word-parallel tiers (CliqueTierDecoder,
+     * LookupTableDecoder) override it to skip event materialization
+     * entirely. Like every pooled-scratch path in this codebase,
+     * decoder instances are not concurrency-safe; concurrent shards
+     * own their own instances.
+     */
+    virtual void decode_packed(const PackedSyndrome &syndrome,
+                               Result &out) const;
+
+    /** Convenience value-returning form of the above. */
+    Result decode_packed(const PackedSyndrome &syndrome) const
+    {
+        Result out;
+        decode_packed(syndrome, out);
+        return out;
+    }
+
+  protected:
+    /** Single-round event scratch shared by the decode_syndrome /
+     * decode_packed wrappers (see the concurrency note above). */
+    mutable std::vector<DetectionEvent> events_scratch_;
 };
 
 } // namespace btwc

@@ -66,4 +66,29 @@ LookupTableDecoder::decode(const std::vector<DetectionEvent> &events,
     return result;
 }
 
+void
+LookupTableDecoder::decode_packed(const PackedSyndrome &syndrome,
+                                  Result &out) const
+{
+    out.correction.assign(static_cast<size_t>(num_data_), 0);
+    out.weight = 0;
+    out.effort = 0;
+    out.resolved = true;
+    out.defects = syndrome.popcount();
+    if (out.defects == 0) {
+        return;
+    }
+    if (!available()) {
+        out.resolved = false;
+        return;
+    }
+    // num_checks_ <= kMaxTableChecks <= 64: the whole syndrome lives
+    // in word 0, already in table-index bit order.
+    const size_t index = static_cast<size_t>(syndrome.word(0));
+    const uint8_t *entry =
+        &corrections_[index * static_cast<size_t>(num_data_)];
+    std::copy(entry, entry + num_data_, out.correction.begin());
+    out.weight = weights_[index];
+}
+
 } // namespace btwc

@@ -54,6 +54,16 @@ class LookupTableDecoder : public Decoder
     Result decode(const std::vector<DetectionEvent> &events,
                   int rounds) const override;
 
+    /**
+     * Packed fast path: the packed syndrome's first word *is* the
+     * table index (`kMaxTableChecks` <= 64 guarantees a single word),
+     * so a decode is one load with no event materialization. Declines
+     * exactly when the event path would (table unavailable).
+     */
+    void decode_packed(const PackedSyndrome &syndrome,
+                       Result &out) const override;
+    using Decoder::decode_packed;
+
   private:
     const RotatedSurfaceCode &code_;
     CheckType detector_;

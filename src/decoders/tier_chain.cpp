@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
 #include "decoders/clique_tier.hpp"
 #include "decoders/exact_decoder.hpp"
@@ -306,7 +307,63 @@ TierChain::Result
 TierChain::decode_syndrome(const std::vector<uint8_t> &syndrome,
                            const Options &options) const
 {
-    return decode(events_from_syndrome(syndrome), 1, options);
+    events_from_syndrome(syndrome, events_scratch_);
+    return decode(events_scratch_, 1, options);
+}
+
+void
+TierChain::decode_syndrome(const PackedSyndrome &syndrome,
+                           const Options &options, Result &out) const
+{
+    out.effort = 0;
+    out.offchip = false;
+    out.resolved = true;
+    if (syndrome.none()) {
+        // Nothing fired: tier 0 resolves trivially without running
+        // (mirrors the byte walk's empty-events short-circuit, minus
+        // the tier-0 call — its result is fully determined). The
+        // correction stays empty, see the header note.
+        out.tier_index = 0;
+        out.tier = config_.tiers[0].kind;
+        out.decode.correction.clear();
+        out.decode.weight = 0;
+        out.decode.effort = 0;
+        out.decode.resolved = true;
+        out.decode.defects = 0;
+        return;
+    }
+    int observed_effort = 0;
+    const size_t last = tiers_.size() - 1;
+    for (size_t i = 0; i <= last; ++i) {
+        const TierSpec &spec = config_.tiers[i];
+        out.tier_index = static_cast<int>(i);
+        out.tier = spec.kind;
+        out.offchip = spec.offchip;
+        if (options.stop_before_offchip && spec.offchip) {
+            out.resolved = false;
+            out.effort = observed_effort;
+            out.decode.correction.clear();
+            out.decode.weight = 0;
+            out.decode.effort = 0;
+            out.decode.resolved = true;
+            out.decode.defects = syndrome.popcount();
+            return;
+        }
+        tiers_[i]->decode_packed(syndrome, attempt_scratch_);
+        if (attempt_scratch_.effort > observed_effort) {
+            observed_effort = attempt_scratch_.effort;
+        }
+        const bool accept =
+            attempt_scratch_.resolved &&
+            (spec.escalation_threshold < 0 ||
+             attempt_scratch_.effort <= spec.escalation_threshold);
+        if (accept || i == last) {
+            out.resolved = attempt_scratch_.resolved;
+            out.effort = observed_effort;
+            std::swap(out.decode, attempt_scratch_);
+            return;
+        }
+    }
 }
 
 } // namespace btwc

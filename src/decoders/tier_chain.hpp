@@ -200,10 +200,40 @@ class TierChain
         return decode_syndrome(syndrome, Options());
     }
 
+    /**
+     * Packed single-round walk — the per-cycle fast path. Tiers run
+     * through `Decoder::decode_packed` (no event materialization;
+     * Clique and LUT stay word-parallel end-to-end) with identical
+     * escalation decisions to the byte walk, and `out` is overwritten
+     * in place reusing its correction capacity, so steady-state cycles
+     * allocate nothing. One packed-specific shape difference: when no
+     * check fired, `out.decode.correction` is left *empty* rather than
+     * num_data zeros (every consumer gates application on
+     * `decode.defects > 0`). Not concurrency-safe on one instance
+     * (pooled attempt scratch); concurrent shards own their chains.
+     */
+    void decode_syndrome(const PackedSyndrome &syndrome,
+                         const Options &options, Result &out) const;
+    Result decode_syndrome(const PackedSyndrome &syndrome,
+                           const Options &options) const
+    {
+        Result out;
+        decode_syndrome(syndrome, options, out);
+        return out;
+    }
+    Result decode_syndrome(const PackedSyndrome &syndrome) const
+    {
+        return decode_syndrome(syndrome, Options());
+    }
+
   private:
     CheckType detector_;
     TierChainConfig config_;
     std::vector<std::unique_ptr<Decoder>> tiers_;
+    // Pooled scratch of the packed walk (swapped with out.decode on
+    // accept so vector capacity ping-pongs between the two).
+    mutable Decoder::Result attempt_scratch_;
+    mutable std::vector<DetectionEvent> events_scratch_;
 };
 
 } // namespace btwc

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <queue>
 
+#include "surface/packed.hpp"
+
 namespace btwc {
 
 namespace {
@@ -59,7 +61,8 @@ class Clusters
     std::vector<uint8_t> boundary_;
 };
 
-struct UfEdge
+/** Reference-path spacetime edge (growth carried on the edge). */
+struct RefEdge
 {
     int a;         ///< spacetime node
     int b;         ///< spacetime node, or -1 for a boundary edge
@@ -67,7 +70,53 @@ struct UfEdge
     int growth;    ///< 0..2 half-edge growth
 };
 
+/** Fast-path spacetime edge (growth lives in a per-call array). */
+struct UfEdge
+{
+    int a;         ///< spacetime node
+    int b;         ///< spacetime node, or -1 for a boundary edge
+    int data;      ///< data qubit of a space edge, -1 for time edges
+};
+
 } // namespace
+
+/**
+ * Per-instance scratch of the packed fast path. The topology block
+ * (edges + CSR incidence) depends only on the code, detector and
+ * round count, so it is rebuilt only when `rounds` changes; the
+ * per-call block is reset via capacity-preserving assigns/clears, so
+ * repeated decodes of the same window depth allocate nothing.
+ */
+struct UnionFindDecoder::Scratch
+{
+    // Topology (rebuilt when `rounds` changes).
+    int rounds = -1;
+    int num_nodes = 0;
+    std::vector<UfEdge> edges;
+    std::vector<int> incident_offset;  ///< CSR offsets, num_nodes + 2
+    std::vector<int> incident_edges;   ///< CSR payload, 2 x edges
+
+    // Per-call cluster state.
+    std::vector<uint8_t> growth;       ///< per-edge 0..2 half-edges
+    std::vector<int> parent;           ///< union-find forest
+    PackedBits odd;                    ///< per-root odd-parity flag
+    PackedBits on_boundary;            ///< per-root touched-boundary flag
+    PackedBits is_defect;
+    PackedBits in_cluster;
+    PackedBits active;                 ///< pre-round active snapshot
+    PackedBits candidate;              ///< per-edge grow candidates
+    PackedBits visited;
+
+    // Per-call peeling state.
+    std::vector<int> grown_degree;     ///< grown-edge degree per node
+    std::vector<int> grown_offset;     ///< CSR offsets over grown edges
+    std::vector<int> grown_cursor;
+    std::vector<int> grown_edges;
+    std::vector<int> parent_edge;
+    std::vector<int> parent_node;
+    std::vector<int> order;
+    std::vector<int> queue;            ///< BFS ring storage
+};
 
 UnionFindDecoder::UnionFindDecoder(const RotatedSurfaceCode &code,
                                    CheckType detector)
@@ -76,9 +125,318 @@ UnionFindDecoder::UnionFindDecoder(const RotatedSurfaceCode &code,
 {
 }
 
+UnionFindDecoder::~UnionFindDecoder() = default;
+
+UnionFindDecoder::Scratch &
+UnionFindDecoder::scratch(int rounds) const
+{
+    if (!scratch_) {
+        scratch_ = std::make_unique<Scratch>();
+    }
+    Scratch &s = *scratch_;
+    if (s.rounds == rounds) {
+        return s;
+    }
+    s.rounds = rounds;
+    s.num_nodes = rounds * num_checks_;
+    const int boundary_id = s.num_nodes;
+    auto node_id = [this](int check, int round) {
+        return round * num_checks_ + check;
+    };
+
+    // Same edge order as the reference path's add_edge walk: space
+    // edges (ascending neighbor), boundary half-edges, then the time
+    // edge, per check per round.
+    s.edges.clear();
+    for (int t = 0; t < rounds; ++t) {
+        for (int c = 0; c < num_checks_; ++c) {
+            const int a = node_id(c, t);
+            for (const CliqueNeighbor &nb :
+                 code_.clique_neighbors(detector_, c)) {
+                if (nb.check > c) {
+                    s.edges.push_back(
+                        UfEdge{a, node_id(nb.check, t), nb.shared_data});
+                }
+            }
+            for (const int bdata : code_.boundary_data(detector_, c)) {
+                s.edges.push_back(UfEdge{a, -1, bdata});
+            }
+            if (t + 1 < rounds) {
+                s.edges.push_back(UfEdge{a, node_id(c, t + 1), -1});
+            }
+        }
+    }
+
+    // CSR incidence including the virtual boundary node.
+    const int n1 = s.num_nodes + 1;
+    s.incident_offset.assign(static_cast<size_t>(n1) + 1, 0);
+    for (const UfEdge &edge : s.edges) {
+        const int b = edge.b < 0 ? boundary_id : edge.b;
+        ++s.incident_offset[static_cast<size_t>(edge.a) + 1];
+        ++s.incident_offset[static_cast<size_t>(b) + 1];
+    }
+    for (int v = 0; v < n1; ++v) {
+        s.incident_offset[static_cast<size_t>(v) + 1] +=
+            s.incident_offset[static_cast<size_t>(v)];
+    }
+    s.incident_edges.assign(2 * s.edges.size(), 0);
+    {
+        std::vector<int> cursor(s.incident_offset.begin(),
+                                s.incident_offset.end() - 1);
+        for (size_t e = 0; e < s.edges.size(); ++e) {
+            const UfEdge &edge = s.edges[e];
+            const int b = edge.b < 0 ? boundary_id : edge.b;
+            s.incident_edges[static_cast<size_t>(cursor[edge.a]++)] =
+                static_cast<int>(e);
+            s.incident_edges[static_cast<size_t>(cursor[b]++)] =
+                static_cast<int>(e);
+        }
+    }
+
+    // Size the per-call blocks once; decode resets contents only.
+    s.growth.assign(s.edges.size(), 0);
+    s.parent.assign(static_cast<size_t>(n1), 0);
+    s.odd.resize(n1);
+    s.on_boundary.resize(n1);
+    s.is_defect.resize(n1);
+    s.in_cluster.resize(n1);
+    s.active.resize(n1);
+    s.candidate.resize(static_cast<int>(s.edges.size()));
+    s.visited.resize(n1);
+    s.grown_degree.assign(static_cast<size_t>(n1), 0);
+    s.grown_offset.assign(static_cast<size_t>(n1) + 1, 0);
+    s.grown_cursor.assign(static_cast<size_t>(n1), 0);
+    s.grown_edges.clear();
+    s.grown_edges.reserve(2 * s.edges.size());
+    s.parent_edge.assign(static_cast<size_t>(n1), -1);
+    s.parent_node.assign(static_cast<size_t>(n1), -1);
+    s.order.clear();
+    s.order.reserve(static_cast<size_t>(n1));
+    s.queue.clear();
+    s.queue.reserve(static_cast<size_t>(n1));
+    return s;
+}
+
 UnionFindDecoder::Result
 UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
                          int rounds) const
+{
+    Result result;
+    result.correction.assign(code_.num_data(), 0);
+    result.defects = static_cast<int>(events.size());
+    if (events.empty()) {
+        return result;
+    }
+
+    Scratch &s = scratch(rounds);
+    const int num_nodes = s.num_nodes;
+    const int boundary_id = num_nodes;
+    const int n1 = num_nodes + 1;
+    auto node_id = [this](int check, int round) {
+        return round * num_checks_ + check;
+    };
+
+    // Reset per-call state (capacity-preserving).
+    std::fill(s.growth.begin(), s.growth.end(), 0);
+    for (int v = 0; v < n1; ++v) {
+        s.parent[static_cast<size_t>(v)] = v;
+    }
+    s.odd.clear();
+    s.on_boundary.clear();
+    s.is_defect.clear();
+    s.in_cluster.clear();
+
+    auto find = [&s](int x) {
+        while (s.parent[static_cast<size_t>(x)] != x) {
+            s.parent[static_cast<size_t>(x)] =
+                s.parent[static_cast<size_t>(
+                    s.parent[static_cast<size_t>(x)])];
+            x = s.parent[static_cast<size_t>(x)];
+        }
+        return x;
+    };
+    // A cluster still grows while it has odd parity off-boundary
+    // (Clusters::active of the reference path).
+    auto cluster_active = [&s, &find](int x) {
+        const int r = find(x);
+        return s.odd.test(r) && !s.on_boundary.test(r);
+    };
+    auto unite = [&s, &find](int a, int b) {
+        a = find(a);
+        b = find(b);
+        if (a == b) {
+            return;
+        }
+        s.parent[static_cast<size_t>(b)] = a;
+        if (s.odd.test(b)) {
+            s.odd.flip(a);
+        }
+        if (s.on_boundary.test(b)) {
+            s.on_boundary.set(a);
+        }
+    };
+
+    s.on_boundary.set(boundary_id);
+    for (const DetectionEvent &ev : events) {
+        const int v = node_id(ev.check, ev.round);
+        s.is_defect.flip(v);
+        s.odd.flip(find(v));
+        s.in_cluster.set(v);
+    }
+
+    // Growth. The candidate set is selected from the pre-round cluster
+    // state (the reference's grow_list scan mutates nothing while
+    // selecting, so a snapshot is equivalent) and applied in ascending
+    // edge order with live re-evaluation of cluster activity — the
+    // same order and the same intra-round merge visibility as the
+    // reference loop, which is what makes the two paths bit-exact.
+    int growth_rounds = 0;
+    for (;;) {
+        s.active.clear();
+        bool have_active = false;
+        s.in_cluster.for_each_set([&](int v) {
+            if (cluster_active(v)) {
+                s.active.set(v);
+                have_active = true;
+            }
+        });
+        if (!have_active) {
+            break;
+        }
+        ++growth_rounds;
+        s.candidate.clear();
+        s.active.for_each_set([&](int v) {
+            const int begin = s.incident_offset[static_cast<size_t>(v)];
+            const int end = s.incident_offset[static_cast<size_t>(v) + 1];
+            for (int k = begin; k < end; ++k) {
+                const int e = s.incident_edges[static_cast<size_t>(k)];
+                if (s.growth[static_cast<size_t>(e)] < 2) {
+                    s.candidate.set(e);
+                }
+            }
+        });
+        s.candidate.for_each_set([&](int e) {
+            const UfEdge &edge = s.edges[static_cast<size_t>(e)];
+            const int b = edge.b < 0 ? boundary_id : edge.b;
+            uint8_t g = s.growth[static_cast<size_t>(e)];
+            g = static_cast<uint8_t>(
+                g + ((s.in_cluster.test(edge.a) && cluster_active(edge.a))
+                         ? 1
+                         : 0));
+            g = static_cast<uint8_t>(
+                g + ((s.in_cluster.test(b) && cluster_active(b)) ? 1 : 0));
+            if (g >= 2) {
+                g = 2;
+                s.in_cluster.set(edge.a);
+                s.in_cluster.set(b);
+                unite(edge.a, b);
+            }
+            s.growth[static_cast<size_t>(e)] = g;
+        });
+    }
+
+    result.effort = growth_rounds;
+
+    // Peeling: spanning forest over fully grown edges, rooted at the
+    // boundary where reachable, then transfer defects leaf-to-root.
+    // The grown incidence is a CSR built in ascending edge order, so
+    // each node's list matches the reference's push_back order.
+    std::fill(s.grown_degree.begin(), s.grown_degree.end(), 0);
+    for (size_t e = 0; e < s.edges.size(); ++e) {
+        if (s.growth[e] >= 2) {
+            const int b =
+                s.edges[e].b < 0 ? boundary_id : s.edges[e].b;
+            ++s.grown_degree[static_cast<size_t>(s.edges[e].a)];
+            ++s.grown_degree[static_cast<size_t>(b)];
+        }
+    }
+    s.grown_offset[0] = 0;
+    for (int v = 0; v < n1; ++v) {
+        s.grown_offset[static_cast<size_t>(v) + 1] =
+            s.grown_offset[static_cast<size_t>(v)] +
+            s.grown_degree[static_cast<size_t>(v)];
+    }
+    std::copy(s.grown_offset.begin(), s.grown_offset.end() - 1,
+              s.grown_cursor.begin());
+    s.grown_edges.resize(
+        static_cast<size_t>(s.grown_offset[static_cast<size_t>(n1)]));
+    for (size_t e = 0; e < s.edges.size(); ++e) {
+        if (s.growth[e] >= 2) {
+            const int b =
+                s.edges[e].b < 0 ? boundary_id : s.edges[e].b;
+            s.grown_edges[static_cast<size_t>(
+                s.grown_cursor[static_cast<size_t>(s.edges[e].a)]++)] =
+                static_cast<int>(e);
+            s.grown_edges[static_cast<size_t>(
+                s.grown_cursor[static_cast<size_t>(b)]++)] =
+                static_cast<int>(e);
+        }
+    }
+
+    s.visited.clear();
+    std::fill(s.parent_edge.begin(), s.parent_edge.end(), -1);
+    std::fill(s.parent_node.begin(), s.parent_node.end(), -1);
+    s.order.clear();
+
+    auto bfs_tree = [&](int root) {
+        s.queue.clear();
+        s.visited.set(root);
+        s.queue.push_back(root);
+        size_t head = 0;
+        while (head < s.queue.size()) {
+            const int v = s.queue[head++];
+            s.order.push_back(v);
+            const int begin = s.grown_offset[static_cast<size_t>(v)];
+            const int end = s.grown_offset[static_cast<size_t>(v) + 1];
+            for (int k = begin; k < end; ++k) {
+                const int e = s.grown_edges[static_cast<size_t>(k)];
+                const UfEdge &edge = s.edges[static_cast<size_t>(e)];
+                const int b = edge.b < 0 ? boundary_id : edge.b;
+                const int other = edge.a == v ? b : edge.a;
+                if (!s.visited.test(other)) {
+                    s.visited.set(other);
+                    s.parent_edge[static_cast<size_t>(other)] = e;
+                    s.parent_node[static_cast<size_t>(other)] = v;
+                    s.queue.push_back(other);
+                }
+            }
+        }
+    };
+
+    bfs_tree(boundary_id);
+    for (int v = 0; v < num_nodes; ++v) {
+        if (!s.visited.test(v) &&
+            s.grown_degree[static_cast<size_t>(v)] > 0) {
+            bfs_tree(v);
+        }
+        if (!s.visited.test(v) && s.is_defect.test(v)) {
+            bfs_tree(v);  // isolated defect (shouldn't occur after growth)
+        }
+    }
+
+    for (size_t i = s.order.size(); i-- > 0;) {
+        const int v = s.order[i];
+        if (v == boundary_id ||
+            s.parent_edge[static_cast<size_t>(v)] < 0) {
+            continue;
+        }
+        if (s.is_defect.test(v)) {
+            const UfEdge &e = s.edges[static_cast<size_t>(
+                s.parent_edge[static_cast<size_t>(v)])];
+            if (e.data >= 0) {
+                result.correction[e.data] ^= 1;
+                ++result.weight;
+            }
+            s.is_defect.reset_bit(v);
+            s.is_defect.flip(s.parent_node[static_cast<size_t>(v)]);
+        }
+    }
+    return result;
+}
+
+UnionFindDecoder::Result
+UnionFindDecoder::decode_reference(const std::vector<DetectionEvent> &events,
+                                   int rounds) const
 {
     Result result;
     result.correction.assign(code_.num_data(), 0);
@@ -94,28 +452,22 @@ UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
     };
 
     // Materialize the spacetime edge list once per call.
-    std::vector<UfEdge> edges;
-    std::vector<std::vector<int>> incident(num_nodes + 1);
-    auto add_edge = [&](int a, int b, int data) {
-        incident[a].push_back(static_cast<int>(edges.size()));
-        incident[b < 0 ? boundary_id : b]
-            .push_back(static_cast<int>(edges.size()));
-        edges.push_back(UfEdge{a, b, data, 0});
-    };
+    std::vector<RefEdge> edges;
     for (int t = 0; t < rounds; ++t) {
         for (int c = 0; c < num_checks_; ++c) {
             const int a = node_id(c, t);
             for (const CliqueNeighbor &nb :
                  code_.clique_neighbors(detector_, c)) {
                 if (nb.check > c) {
-                    add_edge(a, node_id(nb.check, t), nb.shared_data);
+                    edges.push_back(
+                        RefEdge{a, node_id(nb.check, t), nb.shared_data, 0});
                 }
             }
             for (const int bdata : code_.boundary_data(detector_, c)) {
-                add_edge(a, -1, bdata);
+                edges.push_back(RefEdge{a, -1, bdata, 0});
             }
             if (t + 1 < rounds) {
-                add_edge(a, node_id(c, t + 1), -1);
+                edges.push_back(RefEdge{a, node_id(c, t + 1), -1, 0});
             }
         }
     }
@@ -123,7 +475,6 @@ UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
     Clusters clusters(num_nodes + 1);
     clusters.mark_boundary(boundary_id);
     std::vector<uint8_t> is_defect(num_nodes + 1, 0);
-    std::vector<int> active_roots;
     for (const DetectionEvent &ev : events) {
         const int v = node_id(ev.check, ev.round);
         is_defect[v] ^= 1;
@@ -157,7 +508,7 @@ UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
             if (edges[e].growth >= 2) {
                 continue;
             }
-            const UfEdge &edge = edges[e];
+            const RefEdge &edge = edges[e];
             const int b = edge.b < 0 ? boundary_id : edge.b;
             const bool a_active = in_cluster[edge.a] &&
                                   clusters.active(edge.a);
@@ -167,7 +518,7 @@ UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
             }
         }
         for (const int e : grow_list) {
-            UfEdge &edge = edges[e];
+            RefEdge &edge = edges[e];
             edge.growth += (in_cluster[edge.a] && clusters.active(edge.a))
                            ? 1 : 0;
             const int b = edge.b < 0 ? boundary_id : edge.b;
@@ -237,7 +588,7 @@ UnionFindDecoder::decode(const std::vector<DetectionEvent> &events,
             continue;
         }
         if (is_defect[v]) {
-            const UfEdge &e = edges[parent_edge[v]];
+            const RefEdge &e = edges[parent_edge[v]];
             if (e.data >= 0) {
                 result.correction[e.data] ^= 1;
                 ++result.weight;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "decoders/decoder.hpp"
@@ -29,11 +30,22 @@ namespace btwc {
  * hardware-friendly measure of how non-local the signature was (0 =
  * nothing to grow). The tier chain (§8.1) escalates to MWPM above a
  * configured threshold.
+ *
+ * Two implementations share these semantics bit-exactly (property
+ * tests): `decode`, the packed fast path — spacetime topology cached
+ * per round count, packed defect/cluster/visited bitsets, word-scans
+ * for the active-cluster and candidate-edge sweeps, and every per-call
+ * array pooled in a per-instance scratch so steady-state decodes
+ * allocate nothing — and `decode_reference`, the original
+ * allocate-per-call byte-vector implementation, kept as the pinning
+ * reference and micro-bench baseline. Instances are not
+ * concurrency-safe (pooled scratch); concurrent shards own their own.
  */
 class UnionFindDecoder : public Decoder
 {
   public:
     UnionFindDecoder(const RotatedSurfaceCode &code, CheckType detector);
+    ~UnionFindDecoder() override;
 
     const char *name() const override { return "union-find"; }
 
@@ -46,6 +58,16 @@ class UnionFindDecoder : public Decoder
      */
     Result decode(const std::vector<DetectionEvent> &events,
                   int rounds) const override;
+
+    /**
+     * The original allocation-per-call implementation, bit-exact with
+     * `decode` by contract (tests/test_packed.cpp pins correction,
+     * weight, effort, defects across random spacetime noise). Kept as
+     * the property-test reference and the BM_UnionFindDecode byte
+     * baseline.
+     */
+    Result decode_reference(const std::vector<DetectionEvent> &events,
+                            int rounds) const;
 
     /**
      * Legacy spelling of the growth signal: as `decode`, but also
@@ -62,9 +84,15 @@ class UnionFindDecoder : public Decoder
                            int *growth_rounds_out) const;
 
   private:
+    struct Scratch;
+    /** Per-instance scratch, topology rebuilt only when `rounds`
+     * changes (each caller decodes a fixed window depth). */
+    Scratch &scratch(int rounds) const;
+
     const RotatedSurfaceCode &code_;
     CheckType detector_;
     int num_checks_;
+    mutable std::unique_ptr<Scratch> scratch_;
 };
 
 } // namespace btwc

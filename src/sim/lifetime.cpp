@@ -132,8 +132,9 @@ run_signature(const LifetimeConfig &config)
         }
         ErrorFrame frame;
         TierChain chain;
-        std::vector<uint8_t> round;
-        std::vector<uint8_t> filtered;
+        PackedSyndrome round;
+        PackedSyndrome filtered;
+        TierChain::Result out;  ///< pooled, overwritten each cycle
     };
     Half halves[2] = {Half(code, CheckType::X, config.tiers),
                       Half(code, CheckType::Z, config.tiers)};
@@ -149,23 +150,21 @@ run_signature(const LifetimeConfig &config)
             half.frame.reset();
             half.frame.inject(config.p, rng);
             // `filter_rounds` noisy measurements of the same error
-            // state; the filtered signature is their AND (Fig. 7).
+            // state; the filtered signature is their AND (Fig. 7),
+            // word-wide on the packed fast path.
             for (int r = 0; r < config.filter_rounds; ++r) {
-                half.frame.measure(config.meas_probability(), rng,
-                                   half.round);
+                half.frame.measure_packed(config.meas_probability(), rng,
+                                          half.round);
                 if (r == 0) {
                     half.filtered = half.round;
                 } else {
-                    for (size_t c = 0; c < half.filtered.size(); ++c) {
-                        half.filtered[c] &= half.round[c];
-                    }
+                    half.filtered &= half.round;
                 }
             }
-            for (const uint8_t bit : half.round) {
-                raw_weight += bit & 1;
-            }
-            const TierChain::Result out =
-                half.chain.decode_syndrome(half.filtered, chain_options);
+            raw_weight += static_cast<uint64_t>(half.round.popcount());
+            half.chain.decode_syndrome(half.filtered, chain_options,
+                                       half.out);
+            const TierChain::Result &out = half.out;
             // Shared with BtwcSystem::step (the tier-0 classification
             // contract): the two modes must agree on this mapping.
             const CliqueVerdict half_verdict = classify_decode(out);

@@ -5,7 +5,8 @@ namespace btwc {
 ErrorFrame::ErrorFrame(const RotatedSurfaceCode &code, CheckType error_type)
     : code_(code), error_type_(error_type),
       detector_(detector_of_error(error_type)),
-      err_(static_cast<size_t>(code.num_data()), 0)
+      err_(static_cast<size_t>(code.num_data()), 0),
+      packed_(code.num_data())
 {
 }
 
@@ -13,12 +14,14 @@ void
 ErrorFrame::reset()
 {
     std::fill(err_.begin(), err_.end(), 0);
+    packed_.clear();
 }
 
 void
 ErrorFrame::flip(int data)
 {
     err_[data] ^= 1;
+    packed_.flip(data);
 }
 
 void
@@ -31,6 +34,7 @@ ErrorFrame::inject(double p, Rng &rng)
     uint64_t i = rng.geometric(p);
     while (i < n) {
         err_[i] ^= 1;
+        packed_.flip(static_cast<int>(i));
         const uint64_t gap = rng.geometric(p);
         if (gap >= n - i) {
             break;
@@ -44,6 +48,7 @@ ErrorFrame::apply(const std::vector<int> &corrections)
 {
     for (const int data : corrections) {
         err_[data] ^= 1;
+        packed_.flip(data);
     }
 }
 
@@ -51,8 +56,19 @@ void
 ErrorFrame::apply_mask(const std::vector<uint8_t> &mask)
 {
     for (size_t i = 0; i < err_.size(); ++i) {
-        err_[i] ^= (mask[i] & 1);
+        if (mask[i] & 1) {
+            err_[i] ^= 1;
+            packed_.flip(static_cast<int>(i));
+        }
     }
+}
+
+void
+ErrorFrame::apply_packed(const PackedBits &mask)
+{
+    // Sparse mirror update first, then the word-wide XOR.
+    mask.for_each_set([this](int data) { err_[data] ^= 1; });
+    packed_ ^= mask;
 }
 
 void
@@ -75,6 +91,37 @@ ErrorFrame::measure(double p_meas, Rng &rng, std::vector<uint8_t> &out) const
 }
 
 void
+ErrorFrame::measure_packed(double p_meas, Rng &rng,
+                           PackedSyndrome &out) const
+{
+    out.reset(code_.num_checks(detector_));
+    // Sparse extraction: each flipped qubit toggles its owning checks.
+    // Every data qubit belongs to 1-2 checks per type, so a weight-w
+    // error costs O(w) toggles instead of the O(num_checks x support)
+    // dense parity sweep.
+    packed_.for_each_set([this, &out](int data) {
+        for (const int check : code_.checks_of_data(detector_, data)) {
+            out.flip(check);
+        }
+    });
+    if (p_meas <= 0.0) {
+        return;
+    }
+    // Identical geometric gap-skipping walk (and therefore identical
+    // RNG stream) as the byte path: Monte-Carlo runs stay bit-exact.
+    const uint64_t n = static_cast<uint64_t>(out.size());
+    uint64_t i = rng.geometric(p_meas);
+    while (i < n) {
+        out.flip(static_cast<int>(i));
+        const uint64_t gap = rng.geometric(p_meas);
+        if (gap >= n - i) {
+            break;
+        }
+        i += gap + 1;
+    }
+}
+
+void
 ErrorFrame::measure_perfect(std::vector<uint8_t> &out) const
 {
     code_.syndrome_of(detector_, err_, out);
@@ -83,24 +130,19 @@ ErrorFrame::measure_perfect(std::vector<uint8_t> &out) const
 bool
 ErrorFrame::syndrome_clear() const
 {
-    std::vector<uint8_t> syn;
-    code_.syndrome_of(detector_, err_, syn);
-    for (const uint8_t s : syn) {
-        if (s) {
-            return false;
+    syndrome_scratch_.reset(code_.num_checks(detector_));
+    packed_.for_each_set([this](int data) {
+        for (const int check : code_.checks_of_data(detector_, data)) {
+            syndrome_scratch_.flip(check);
         }
-    }
-    return true;
+    });
+    return syndrome_scratch_.none();
 }
 
 int
 ErrorFrame::weight() const
 {
-    int w = 0;
-    for (const uint8_t e : err_) {
-        w += e & 1;
-    }
-    return w;
+    return packed_.popcount();
 }
 
 bool

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "surface/lattice.hpp"
+#include "surface/packed.hpp"
 
 namespace btwc {
 
@@ -15,6 +16,12 @@ namespace btwc {
  * type (X or Z) and produces per-round syndrome measurements of the
  * detecting check type, optionally with measurement flips. This is the
  * "Pauli frame" of one half of the independently-decoded lattice.
+ *
+ * The error state is held twice: a byte-per-qubit vector (`error()`,
+ * the legacy representation every byte-path consumer reads) and a
+ * bit-packed mirror (`error_packed()`). Every mutator keeps the two in
+ * sync; the packed mirror is what makes `measure_packed` O(weight)
+ * instead of O(num_checks x support) and `weight()` a popcount.
  */
 class ErrorFrame
 {
@@ -46,12 +53,24 @@ class ErrorFrame
     /** Apply a correction mask (one byte per data qubit). */
     void apply_mask(const std::vector<uint8_t> &mask);
 
+    /** Apply a packed correction mask (one bit per data qubit). */
+    void apply_packed(const PackedBits &mask);
+
     /**
      * One noisy measurement round: `out[c]` is the parity of the
      * current error over check c's support, flipped with probability
      * p_meas. `out` is resized to the check count.
      */
     void measure(double p_meas, Rng &rng, std::vector<uint8_t> &out) const;
+
+    /**
+     * Packed equivalent of `measure`: bit-exact with the byte form
+     * (same syndrome, same RNG consumption) but O(error weight) for
+     * the extraction — each flipped qubit toggles its 1-2 owning
+     * checks via the incidence lists — and allocation-free once `out`
+     * has the check width (the per-`BtwcSystem::Half` scratch idiom).
+     */
+    void measure_packed(double p_meas, Rng &rng, PackedSyndrome &out) const;
 
     /** Noiseless measurement round. */
     void measure_perfect(std::vector<uint8_t> &out) const;
@@ -72,6 +91,9 @@ class ErrorFrame
     /** Raw per-qubit error indicators. */
     const std::vector<uint8_t> &error() const { return err_; }
 
+    /** Bit-packed per-qubit error indicators (mirror of error()). */
+    const PackedBits &error_packed() const { return packed_; }
+
     /** The underlying code. */
     const RotatedSurfaceCode &code() const { return code_; }
 
@@ -80,6 +102,10 @@ class ErrorFrame
     CheckType error_type_;
     CheckType detector_;
     std::vector<uint8_t> err_;
+    PackedBits packed_;
+    // Reused by the const syndrome_clear() query; frames are not
+    // concurrency-safe per instance (each engine shard owns its own).
+    mutable PackedSyndrome syndrome_scratch_;
 };
 
 } // namespace btwc

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace btwc {
+
+/** Number of 64-bit words covering `bits` bits. */
+constexpr int
+packed_words(int bits)
+{
+    return (bits + 63) / 64;
+}
+
+/**
+ * Dynamically sized bitset packed 64 bits per `uint64_t` word — the
+ * carrier of the word-parallel screening fast path (ROADMAP
+ * "raw-speed floor").
+ *
+ * Invariant: bits at positions >= size() are always zero, so whole-word
+ * reductions (popcount, none, AND/OR/XOR) never see garbage in the
+ * tail word. All mutators preserve it; `set`/`flip`/`reset`/`test`
+ * require `i < size()`.
+ *
+ * `resize` is the only allocating operation (and only when the word
+ * count grows), which is what makes persistent instances — per-decoder
+ * scratch, per-`BtwcSystem::Half` syndromes — allocation-free in
+ * steady state.
+ */
+class PackedBits
+{
+  public:
+    PackedBits() = default;
+    explicit PackedBits(int bits) { resize(bits); }
+
+    /** Resize to `bits` bits, clearing all of them. */
+    void resize(int bits)
+    {
+        bits_ = bits;
+        words_.assign(static_cast<size_t>(packed_words(bits)), 0);
+    }
+
+    /** Clear all bits, keeping the size. */
+    void clear()
+    {
+        for (uint64_t &w : words_) {
+            w = 0;
+        }
+    }
+
+    /** Resize when the width differs, else just clear (never shrinks
+     * capacity): the reset idiom of every pooled scratch instance. */
+    void reset(int bits)
+    {
+        if (bits_ != bits) {
+            resize(bits);
+        } else {
+            clear();
+        }
+    }
+
+    int size() const { return bits_; }
+    int num_words() const { return static_cast<int>(words_.size()); }
+
+    uint64_t word(int w) const { return words_[static_cast<size_t>(w)]; }
+    const uint64_t *data() const { return words_.data(); }
+    uint64_t *data() { return words_.data(); }
+
+    bool test(int i) const
+    {
+        return ((words_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1) != 0;
+    }
+    void set(int i)
+    {
+        words_[static_cast<size_t>(i >> 6)] |= uint64_t(1) << (i & 63);
+    }
+    void reset_bit(int i)
+    {
+        words_[static_cast<size_t>(i >> 6)] &= ~(uint64_t(1) << (i & 63));
+    }
+    void flip(int i)
+    {
+        words_[static_cast<size_t>(i >> 6)] ^= uint64_t(1) << (i & 63);
+    }
+
+    /** True when no bit is set. */
+    bool none() const
+    {
+        uint64_t acc = 0;
+        for (const uint64_t w : words_) {
+            acc |= w;
+        }
+        return acc == 0;
+    }
+    bool any() const { return !none(); }
+
+    /** Number of set bits. */
+    int popcount() const
+    {
+        int n = 0;
+        for (const uint64_t w : words_) {
+            n += __builtin_popcountll(w);
+        }
+        return n;
+    }
+
+    /** Call f(i) for every set bit i, in ascending order. */
+    template <typename F>
+    void for_each_set(F &&f) const
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            uint64_t bits = words_[w];
+            while (bits != 0) {
+                f(static_cast<int>(w * 64) +
+                  __builtin_ctzll(bits));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /** XOR in another bitset of the same size. */
+    PackedBits &operator^=(const PackedBits &other)
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            words_[w] ^= other.words_[w];
+        }
+        return *this;
+    }
+
+    /** AND in another bitset of the same size. */
+    PackedBits &operator&=(const PackedBits &other)
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            words_[w] &= other.words_[w];
+        }
+        return *this;
+    }
+
+    /** OR in another bitset of the same size. */
+    PackedBits &operator|=(const PackedBits &other)
+    {
+        for (size_t w = 0; w < words_.size(); ++w) {
+            words_[w] |= other.words_[w];
+        }
+        return *this;
+    }
+
+    bool operator==(const PackedBits &other) const
+    {
+        return bits_ == other.bits_ && words_ == other.words_;
+    }
+    bool operator!=(const PackedBits &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Pack a byte-per-bit vector (nonzero low bit = set). */
+    void from_bytes(const std::vector<uint8_t> &bytes)
+    {
+        reset(static_cast<int>(bytes.size()));
+        for (size_t i = 0; i < bytes.size(); ++i) {
+            if (bytes[i] & 1) {
+                set(static_cast<int>(i));
+            }
+        }
+    }
+
+    /** Unpack into a byte-per-bit vector (resized to size()). */
+    void to_bytes(std::vector<uint8_t> &out) const
+    {
+        out.assign(static_cast<size_t>(bits_), 0);
+        for_each_set([&out](int i) { out[static_cast<size_t>(i)] = 1; });
+    }
+
+  private:
+    int bits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/**
+ * One extraction round's fired-check bits, 64 checks per word — the
+ * packed counterpart of the byte-per-check syndrome vectors. Built by
+ * `ErrorFrame::measure_packed` and consumed word-parallel by the
+ * screening tiers (CliqueDecoder, UnionFindDecoder, TierChain).
+ */
+using PackedSyndrome = PackedBits;
+
+/** popcount(a & b) over `words` 64-bit words, without materializing. */
+inline int
+and_popcount(const uint64_t *a, const uint64_t *b, int words)
+{
+    int n = 0;
+    for (int w = 0; w < words; ++w) {
+        n += __builtin_popcountll(a[w] & b[w]);
+    }
+    return n;
+}
+
+} // namespace btwc
