@@ -9,10 +9,82 @@
 #
 #   ./ci.sh            # full verify + Release suite + smoke
 #   ./ci.sh --verify   # tier-1 verify only
+#   ./ci.sh --asan     # ASan+UBSan build + full ctest + audited scenario
+#   ./ci.sh --tsan     # TSan build + concurrency tests + --threads 4 run
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Probe whether the toolchain can link a given -fsanitize= combination
+# (the runtime libs are separate packages; mirror the skip-not-fail
+# policy of the micro_decoders and thread-scaling legs).
+sanitizer_supported() {
+    local probe_dir
+    probe_dir="$(mktemp -d)"
+    local ok=0
+    echo 'int main() { return 0; }' > "${probe_dir}/probe.cpp"
+    if c++ "-fsanitize=$1" -o "${probe_dir}/probe" \
+           "${probe_dir}/probe.cpp" > /dev/null 2>&1; then
+        ok=1
+    fi
+    rm -rf "${probe_dir}"
+    [[ "${ok}" == 1 ]]
+}
+
+if [[ "${1:-}" == "--asan" ]]; then
+    echo "== ASan+UBSan leg =="
+    if ! sanitizer_supported "address,undefined"; then
+        echo "toolchain cannot link -fsanitize=address,undefined;"
+        echo "ASan leg skipped"
+        exit 0
+    fi
+    cmake -B build-asan -S . \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DBTWC_SANITIZE=address,undefined
+    cmake --build build-asan -j "${JOBS}"
+    ctest --test-dir build-asan --output-on-failure --no-tests=error \
+          -j "${JOBS}"
+    # Deep-audit scenario under the sanitizers: the structural audit()
+    # scans walk every container the fast paths touch, so ASan sees
+    # the full object graph, not just what the metrics read.
+    ./build-asan/btwc_run quick --threads 1 --audit deep \
+        --json build-asan/BENCH_asan.json > /dev/null
+    echo "ASan+UBSan OK"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+    echo "== TSan leg =="
+    if ! sanitizer_supported "thread"; then
+        echo "toolchain cannot link -fsanitize=thread; TSan leg skipped"
+        exit 0
+    fi
+    cmake -B build-tsan -S . \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DBTWC_SANITIZE=thread
+    cmake --build build-tsan -j "${JOBS}"
+    # Concurrency-relevant suites only: TSan's 5-15x slowdown makes
+    # the full matrix impractical, and the single-threaded decoders
+    # are covered by the ASan leg.
+    ctest --test-dir build-tsan --output-on-failure --no-tests=error \
+          -j "${JOBS}" -R 'Engine|Fleet|Thread|Api'
+    CORES="$(nproc 2>/dev/null || echo 1)"
+    if [[ "${CORES}" -ge 2 ]]; then
+        # The shared-link fleet is the most contended multi-thread
+        # path: sharded tenants + one shared off-chip service.
+        ./build-tsan/btwc_run fleet-shared-narrow --threads 4 \
+            --cycles 1000 --json build-tsan/BENCH_tsan.json > /dev/null
+        ./build-tsan/btwc_run quick --threads 4 --audit basic \
+            --json build-tsan/BENCH_tsan_quick.json > /dev/null
+    else
+        echo "single core (nproc=${CORES}): --threads 4 TSan scenario"
+        echo "skipped (no real interleaving to observe; mirror of the"
+        echo "thread-scaling leg's skip-not-fail policy)"
+    fi
+    echo "TSan OK"
+    exit 0
+fi
 
 echo "== docs check =="
 # README.md must exist and quote the exact tier-1 verify command that
@@ -30,6 +102,10 @@ test -f src/api/README.md || { echo "src/api/README.md missing" >&2; exit 1; }
 echo "docs OK"
 
 echo
+echo "== repo lint (tools/lint.sh) =="
+bash tools/lint.sh
+
+echo
 echo "== tier-1 verify (-Werror) =="
 cmake -B build-ci -S . \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -39,6 +115,23 @@ ctest --test-dir build-ci --output-on-failure --no-tests=error -j "${JOBS}"
 
 if [[ "${1:-}" == "--verify" ]]; then
     exit 0
+fi
+
+echo
+echo "== clang-tidy (compile_commands.json) =="
+# Static-analysis sweep over the library sources with the pinned
+# .clang-tidy profile. Guarded like the micro_decoders leg: absent
+# tooling skips, it never fails the build for a missing binary.
+if command -v clang-tidy > /dev/null 2>&1; then
+    if command -v run-clang-tidy > /dev/null 2>&1; then
+        run-clang-tidy -p build-ci -quiet "src/.*\.cpp$"
+    else
+        find src -name '*.cpp' -print0 |
+            xargs -0 -n 8 -P "${JOBS}" clang-tidy -p build-ci --quiet
+    fi
+    echo "clang-tidy OK"
+else
+    echo "clang-tidy not installed; leg skipped"
 fi
 
 echo
@@ -77,7 +170,11 @@ FRESH_SCENARIO="build-release/BENCH_scenario.fresh.json"
 # --repeat 3 reports the median-walltime run: the metrics subtree is
 # identical across repeats (fixed RNG stream), so the btwc_diff gate
 # is unaffected while the archived walltime sidecar is de-noised.
-./build-release/btwc_run quick --threads 1 --repeat 3 \
+# --audit deep turns on every structural audit() scan and the packed/
+# byte cross-path re-decode (common/check.hpp): audits consume no
+# randomness and alter no metrics, so the btwc_diff gate doubles as a
+# machine check that deep auditing is observationally free.
+./build-release/btwc_run quick --threads 1 --repeat 3 --audit deep \
     --json "${FRESH_SCENARIO}" > /dev/null
 if command -v python3 > /dev/null 2>&1; then
     python3 - "${FRESH_SCENARIO}" <<'EOF'

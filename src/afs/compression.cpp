@@ -1,8 +1,9 @@
 #include "afs/compression.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
+
+#include "common/check.hpp"
 
 namespace btwc {
 
@@ -44,7 +45,7 @@ AfsCompressor::AfsCompressor(int syndrome_bits)
     : n_(syndrome_bits), index_bits_(ceil_log2(syndrome_bits)),
       count_bits_(ceil_log2(syndrome_bits + 1))
 {
-    assert(syndrome_bits >= 1);
+    BTWC_CHECK(syndrome_bits >= 1);
 }
 
 int
@@ -97,7 +98,7 @@ AfsCompressor::compressed_bits(Scheme scheme,
 std::vector<uint8_t>
 AfsCompressor::compress_sparse(const std::vector<uint8_t> &syndrome) const
 {
-    assert(static_cast<int>(syndrome.size()) == n_);
+    BTWC_CHECK(static_cast<int>(syndrome.size()) == n_);
     std::vector<int> ones;
     for (int i = 0; i < n_; ++i) {
         if (syndrome[i] & 1) {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace btwc {
 
@@ -293,6 +296,13 @@ run_exact_fleet_scenario(const ScenarioSpec &spec)
 Report
 run_scenario(const ScenarioSpec &spec)
 {
+    // An audit= setting holds for exactly this run: the scope restores
+    // whatever level the process (env / previous set_audit_level) had.
+    std::unique_ptr<ScopedAuditLevel> audit_scope;
+    if (spec.engine.audit >= 0) {
+        audit_scope = std::make_unique<ScopedAuditLevel>(
+            static_cast<AuditLevel>(spec.engine.audit));
+    }
     switch (spec.kind) {
       case ScenarioKind::Lifetime:
         return run_lifetime_scenario(spec);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "api/report.hpp"
+#include "common/check.hpp"
 #include "common/parse.hpp"
 
 namespace btwc {
@@ -348,7 +349,7 @@ const struct FlagKeyMapping
     {"hot_mult", "hot_mult"},   {"hot-mult", "hot_mult"},
     {"cycles", "cycles"},       {"trials", "trials"},
     {"failures", "failures"},   {"threads", "threads"},
-    {"seed", "seed"},
+    {"seed", "seed"},           {"audit", "audit"},
 };
 
 /** Boolean / shortcut flags with their own historical spellings. */
@@ -470,6 +471,16 @@ apply_key(SpecBuilder &builder, const std::string &key,
     }
     if (key == "seed") {
         return builder.u64("seed", value, &spec.engine.seed, error);
+    }
+    if (key == "audit") {
+        AuditLevel level = AuditLevel::Off;
+        if (!parse_audit_level(value, &level)) {
+            set_error(error, "bad audit '" + value +
+                                 "'; expected off | basic | deep");
+            return false;
+        }
+        spec.engine.audit = static_cast<int>(level);
+        return true;
     }
     set_error(error, "unknown scenario key '" + key +
                          "' (see src/api/README.md for the grammar)");
@@ -668,6 +679,10 @@ ScenarioSpec::to_string() const
     }
     if (engine.seed != defaults.engine.seed) {
         emit("seed", std::to_string(engine.seed));
+    }
+    if (engine.audit >= 0) {
+        emit("audit",
+             audit_level_name(static_cast<AuditLevel>(engine.audit)));
     }
     return out;
 }

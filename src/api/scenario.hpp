@@ -70,6 +70,16 @@ struct EngineSpec
     uint64_t cycles = 0;  ///< simulated cycles; 0 = the harness default
     uint64_t trials = 0;  ///< memory-only: trial cap; 0 = default
     uint64_t target_failures = 0;  ///< memory-only early stop; 0 = default
+    /**
+     * Contract-audit level for the run (common/check.hpp): 0 = off,
+     * 1 = basic, 2 = deep; negative = leave the process default
+     * (BTWC_AUDIT env / build type) untouched. Grammar key
+     * `audit=off|basic|deep`; `run_scenario` applies it for the
+     * duration of the run via ScopedAuditLevel. Audits consume no
+     * randomness and alter no metrics, so reports are bit-identical
+     * across levels.
+     */
+    int audit = -1;
 };
 
 /**

@@ -1,0 +1,107 @@
+#include "common/check.hpp"
+
+#include <cstdlib>
+
+namespace btwc {
+
+namespace {
+
+std::string
+format_failure(const char *file, int line, const char *expression,
+               const std::string &message)
+{
+    std::string out;
+    out += file;
+    out += ':';
+    out += std::to_string(line);
+    out += ": check failed: ";
+    out += expression;
+    if (!message.empty()) {
+        out += " (";
+        out += message;
+        out += ')';
+    }
+    return out;
+}
+
+AuditLevel
+initial_audit_level()
+{
+#ifdef NDEBUG
+    AuditLevel level = AuditLevel::Off;
+#else
+    AuditLevel level = AuditLevel::Basic;
+#endif
+    if (const char *env = std::getenv("BTWC_AUDIT")) {
+        parse_audit_level(env, &level); // unknown text keeps the default
+    }
+    return level;
+}
+
+std::atomic<int> &
+audit_level_slot()
+{
+    static std::atomic<int> level{static_cast<int>(initial_audit_level())};
+    return level;
+}
+
+} // namespace
+
+CheckFailure::CheckFailure(const char *file, int line, const char *expression,
+                           const std::string &message)
+    : std::logic_error(format_failure(file, line, expression, message)),
+      file_(file), line_(line), expression_(expression)
+{
+}
+
+void
+check_failed(const char *file, int line, const char *expression,
+             const std::string &message)
+{
+    throw CheckFailure(file, line, expression, message);
+}
+
+AuditLevel
+audit_level()
+{
+    return static_cast<AuditLevel>(
+        audit_level_slot().load(std::memory_order_relaxed));
+}
+
+void
+set_audit_level(AuditLevel level)
+{
+    audit_level_slot().store(static_cast<int>(level),
+                             std::memory_order_relaxed);
+}
+
+bool
+parse_audit_level(const std::string &text, AuditLevel *out)
+{
+    if (text == "off" || text == "0") {
+        *out = AuditLevel::Off;
+    } else if (text == "basic" || text == "1") {
+        *out = AuditLevel::Basic;
+    } else if (text == "deep" || text == "2") {
+        *out = AuditLevel::Deep;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+audit_level_name(AuditLevel level)
+{
+    switch (level) {
+    case AuditLevel::Off:
+        return "off";
+    case AuditLevel::Basic:
+        return "basic";
+    case AuditLevel::Deep:
+        return "deep";
+    }
+    return "off";
+}
+
+} // namespace btwc

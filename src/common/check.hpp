@@ -1,0 +1,211 @@
+#pragma once
+
+// Contract-check subsystem: three enforcement tiers for the repo's
+// load-bearing invariants.
+//
+//   BTWC_CHECK(cond)       always on, survives -DNDEBUG. For cheap
+//                          preconditions on cold paths (constructors,
+//                          config parsing, per-decode entry points).
+//   BTWC_DCHECK(cond)      compiled out under -DNDEBUG. For bounds
+//                          checks inside hot inner loops where even a
+//                          predictable branch is measurable.
+//   BTWC_AUDIT(cond)       compiled in always, evaluated only when
+//                          audit_level() >= Basic. For per-element
+//                          validation that is too costly to run by
+//                          default but must be runnable in release CI.
+//
+// Structural audit() methods (PackedBits, TierChain, OffchipQueue,
+// SharedOffchipService, ...) are gated by audit_deep(): they walk
+// whole containers or re-derive results, so callers invoke them only
+// at AuditLevel::Deep.
+//
+// Failures throw CheckFailure (never abort), carrying file, line and
+// the failed expression so tests can assert on contract violations
+// without death tests.
+//
+// The audit level is a process-wide knob: env BTWC_AUDIT=off|basic|deep
+// at startup, or --audit / audit= via ScenarioSpec (run_scenario
+// applies it for the duration of the run), or set_audit_level() from
+// code. Default: Off under -DNDEBUG, Basic in debug builds.
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace btwc {
+
+/// Thrown by every failed BTWC_CHECK / BTWC_DCHECK / BTWC_AUDIT and by
+/// failed audit() methods. Carries the source location and expression
+/// text so tests can pinpoint which contract fired.
+class CheckFailure : public std::logic_error {
+  public:
+    CheckFailure(const char *file, int line, const char *expression,
+                 const std::string &message);
+
+    const char *file() const { return file_; }
+    int line() const { return line_; }
+    const char *expression() const { return expression_; }
+
+  private:
+    const char *file_;
+    int line_;
+    const char *expression_;
+};
+
+/// Throws CheckFailure. Out of line so the macros stay tiny at every
+/// call site (the failure path never inlines into hot code).
+[[noreturn]] void check_failed(const char *file, int line,
+                               const char *expression,
+                               const std::string &message = std::string());
+
+enum class AuditLevel : int {
+    Off = 0,   ///< contracts only (BTWC_CHECK / BTWC_DCHECK)
+    Basic = 1, ///< + inline BTWC_AUDIT assertions, thread-owner guard
+    Deep = 2,  ///< + structural audit() scans and cross-path re-decodes
+};
+
+/// Current process-wide audit level. First call latches the
+/// BTWC_AUDIT environment variable (off|basic|deep or 0|1|2).
+AuditLevel audit_level();
+
+/// Override the process-wide audit level (e.g. from --audit).
+void set_audit_level(AuditLevel level);
+
+/// Parse "off"/"basic"/"deep" (or "0"/"1"/"2"). Returns false and
+/// leaves *out untouched on unknown text.
+bool parse_audit_level(const std::string &text, AuditLevel *out);
+
+/// Canonical name for a level: "off", "basic", "deep".
+const char *audit_level_name(AuditLevel level);
+
+inline bool
+audit_basic()
+{
+    return audit_level() >= AuditLevel::Basic;
+}
+
+inline bool
+audit_deep()
+{
+    return audit_level() >= AuditLevel::Deep;
+}
+
+/// RAII override of the global audit level; restores the previous
+/// level on destruction. run_scenario uses this so a ScenarioSpec
+/// audit= setting never clobbers the environment default for the
+/// rest of the process.
+class ScopedAuditLevel {
+  public:
+    explicit ScopedAuditLevel(AuditLevel level)
+        : previous_(audit_level())
+    {
+        set_audit_level(level);
+    }
+    ~ScopedAuditLevel() { set_audit_level(previous_); }
+    ScopedAuditLevel(const ScopedAuditLevel &) = delete;
+    ScopedAuditLevel &operator=(const ScopedAuditLevel &) = delete;
+
+  private:
+    AuditLevel previous_;
+};
+
+/// Enforces the "decoder instances are not concurrency-safe" rule
+/// from src/decoders/README.md: pooled scratch (events_scratch_,
+/// matcher slots, attempt results) belongs to exactly one thread.
+///
+/// Ownership binds at the first guarded call, not at construction:
+/// harnesses build decoder stacks on the main thread and hand each
+/// stack to one worker shard. The guard is active at
+/// AuditLevel::Basic and above (so debug builds and --audit runs
+/// check it; release defaults pay one relaxed load).
+class SingleThreadOwner {
+  public:
+    SingleThreadOwner() = default;
+
+    // Copying or moving a guarded object starts a fresh ownership
+    // binding (the atomic itself is neither copyable nor movable, and
+    // the new/assigned instance belongs to whoever decodes with it
+    // first). This keeps decoder stacks movable — vector<TierChain>
+    // reallocation, harness setup returning stacks by value.
+    SingleThreadOwner(const SingleThreadOwner &) noexcept {}
+    SingleThreadOwner &operator=(const SingleThreadOwner &) noexcept
+    {
+        release_thread_owner();
+        return *this;
+    }
+
+    void assert_single_thread_owner() const
+    {
+        if (audit_level() == AuditLevel::Off) {
+            return;
+        }
+        const std::thread::id self = std::this_thread::get_id();
+        std::thread::id expected{};
+        if (owner_.compare_exchange_strong(expected, self,
+                                           std::memory_order_relaxed)) {
+            return; // first guarded call: bind ownership to this thread
+        }
+        if (expected != self) {
+            check_failed(__FILE__, __LINE__,
+                         "assert_single_thread_owner",
+                         "pooled decoder scratch used from a second "
+                         "thread; decoder instances are single-owner "
+                         "(see src/decoders/README.md)");
+        }
+    }
+
+    /// Forget the bound owner (e.g. when a harness legitimately moves
+    /// a decoder stack between sequential phases on different
+    /// threads). Not thread-safe against concurrent guarded calls.
+    void release_thread_owner() const
+    {
+        owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::atomic<std::thread::id> owner_{};
+};
+
+} // namespace btwc
+
+// Always-on contract check. Throws CheckFailure on violation.
+#define BTWC_CHECK(expr)                                                \
+    do {                                                                \
+        if (!(expr)) {                                                  \
+            ::btwc::check_failed(__FILE__, __LINE__, #expr);            \
+        }                                                               \
+    } while (false)
+
+// Always-on contract check with an explanatory message.
+#define BTWC_CHECK_MSG(expr, message)                                   \
+    do {                                                                \
+        if (!(expr)) {                                                  \
+            ::btwc::check_failed(__FILE__, __LINE__, #expr, (message)); \
+        }                                                               \
+    } while (false)
+
+// Debug-only check: compiled out (expression unevaluated) under
+// -DNDEBUG. The sizeof keeps the expression parsed so variables it
+// references still count as used under -Werror.
+#ifdef NDEBUG
+#define BTWC_DCHECK(expr) static_cast<void>(sizeof(!(expr)))
+#else
+#define BTWC_DCHECK(expr) BTWC_CHECK(expr)
+#endif
+
+// Runtime-gated check: evaluated only when audit_level() >= Basic.
+// Off costs one relaxed atomic load per call site.
+#define BTWC_AUDIT(expr)                                                \
+    do {                                                                \
+        if (::btwc::audit_basic() && !(expr)) {                         \
+            ::btwc::check_failed(__FILE__, __LINE__, #expr);            \
+        }                                                               \
+    } while (false)
+
+#define BTWC_AUDIT_MSG(expr, message)                                   \
+    do {                                                                \
+        if (::btwc::audit_basic() && !(expr)) {                         \
+            ::btwc::check_failed(__FILE__, __LINE__, #expr, (message)); \
+        }                                                               \
+    } while (false)

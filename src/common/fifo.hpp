@@ -29,6 +29,10 @@ class HeadFifo
     T &front() { return items_[head_]; }
     const T &front() const { return items_[head_]; }
 
+    /** Peek live entry i (0 = oldest) without consuming it — the
+     * read-only walk the audit() methods use to verify FIFO order. */
+    const T &at(size_t i) const { return items_[head_ + i]; }
+
     void push_back(T value) { items_.push_back(std::move(value)); }
 
     /** Remove and return the oldest entry (FIFO order). */

@@ -1,8 +1,9 @@
 #include "common/table.hpp"
 
-#include <cassert>
 #include <cstdio>
 #include <sstream>
+
+#include "common/check.hpp"
 
 namespace btwc {
 
@@ -13,7 +14,7 @@ Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
 void
 Table::add_row(std::vector<std::string> cells)
 {
-    assert(cells.size() == headers_.size());
+    BTWC_CHECK(cells.size() == headers_.size());
     rows_.push_back(std::move(cells));
 }
 

@@ -1,7 +1,8 @@
 #include "core/filter.hpp"
 
-#include <cassert>
 #include <cstddef>
+
+#include "common/check.hpp"
 
 namespace btwc {
 
@@ -11,13 +12,13 @@ MeasurementFilter::MeasurementFilter(int num_checks, int rounds)
                std::vector<uint8_t>(static_cast<size_t>(num_checks), 0)),
       filtered_(static_cast<size_t>(num_checks), 0)
 {
-    assert(rounds >= 1);
+    BTWC_CHECK(rounds >= 1);
 }
 
 const std::vector<uint8_t> &
 MeasurementFilter::push(const std::vector<uint8_t> &raw)
 {
-    assert(raw.size() == filtered_.size());
+    BTWC_CHECK(raw.size() == filtered_.size());
     history_[head_] = raw;
     head_ = (head_ + 1) % rounds_;
     if (pushed_ < rounds_) {
@@ -53,13 +54,13 @@ PackedMeasurementFilter::PackedMeasurementFilter(int num_checks, int rounds)
       history_(static_cast<size_t>(rounds), PackedSyndrome(num_checks)),
       filtered_(num_checks)
 {
-    assert(rounds >= 1);
+    BTWC_CHECK(rounds >= 1);
 }
 
 const PackedSyndrome &
 PackedMeasurementFilter::push(const PackedSyndrome &raw)
 {
-    assert(raw.size() == filtered_.size());
+    BTWC_CHECK(raw.size() == filtered_.size());
     history_[static_cast<size_t>(head_)] = raw;
     head_ = (head_ + 1) % rounds_;
     if (pushed_ < rounds_) {

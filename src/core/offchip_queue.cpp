@@ -1,5 +1,7 @@
 #include "core/offchip_queue.hpp"
 
+#include "common/check.hpp"
+
 namespace btwc {
 
 OffchipQueue::OffchipQueue(OffchipQueueConfig config) : config_(config) {}
@@ -74,6 +76,52 @@ OffchipQueue::step(uint64_t new_requests)
     max_backlog_ = backlog_ > max_backlog_ ? backlog_ : max_backlog_;
     ++cycle_;
     return out;
+}
+
+void
+OffchipQueue::audit() const
+{
+    BTWC_CHECK_MSG(enqueued_ == served_ + backlog_,
+                   "request conservation: enqueued == served + backlog");
+    BTWC_CHECK_MSG(served_ == landed_ + in_flight_,
+                   "request conservation: served == landed + in flight");
+    BTWC_CHECK_MSG(total_cycles_ == work_cycles_ + stall_cycles_,
+                   "cycle conservation: total == work + stall");
+    BTWC_CHECK_MSG(max_backlog_ >= backlog_,
+                   "max backlog dominates the current backlog");
+    BTWC_CHECK_MSG(stall_next_ == (backlog_ > 0),
+                   "a cycle ending with backlog stalls the next one");
+
+    uint64_t waiting_total = 0;
+    for (size_t i = 0; i < waiting_.size(); ++i) {
+        const Group &group = waiting_.at(i);
+        BTWC_CHECK_MSG(group.count > 0, "waiting groups are non-empty");
+        BTWC_CHECK_MSG(group.cycle < cycle_,
+                       "waiting groups were enqueued in past cycles");
+        if (i > 0) {
+            BTWC_CHECK_MSG(group.cycle >= waiting_.at(i - 1).cycle,
+                           "waiting FIFO enqueue cycles are monotone");
+        }
+        waiting_total += group.count;
+    }
+    BTWC_CHECK_MSG(waiting_total == backlog_,
+                   "waiting group counts sum to the backlog");
+
+    uint64_t in_service_total = 0;
+    for (size_t i = 0; i < in_service_.size(); ++i) {
+        const Group &group = in_service_.at(i);
+        BTWC_CHECK_MSG(group.count > 0, "in-service groups are non-empty");
+        BTWC_CHECK_MSG(group.cycle >= cycle_,
+                       "every in-service group lands in the future "
+                       "(due groups were popped by the last step)");
+        if (i > 0) {
+            BTWC_CHECK_MSG(group.cycle >= in_service_.at(i - 1).cycle,
+                           "in-service FIFO land cycles are monotone");
+        }
+        in_service_total += group.count;
+    }
+    BTWC_CHECK_MSG(in_service_total == in_flight_,
+                   "in-service group counts sum to the in-flight count");
 }
 
 } // namespace btwc

@@ -143,6 +143,19 @@ class OffchipQueue
      */
     const CountHistogram &batch_histogram() const { return batch_; }
 
+    /**
+     * Verify the queue's internal consistency: conservation across
+     * the counters (enqueued == served + backlog,
+     * served == landed + in_flight, total == work + stall cycles),
+     * FIFO group order (enqueue cycles non-decreasing in the waiting
+     * FIFO, land cycles non-decreasing and not yet due in the
+     * in-service FIFO), group counts summing to the backlog /
+     * in-flight counters, and the stall flag matching the backlog.
+     * Called per cycle by its owners at AuditLevel::Deep; throws
+     * CheckFailure.
+     */
+    void audit() const;
+
   private:
     /** A run of requests enqueued (or landing) in the same cycle. */
     struct Group

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/check.hpp"
 #include "decoders/decoder.hpp"
 
 namespace btwc {
@@ -21,6 +22,32 @@ SharedOffchipService::SharedOffchipService(const RotatedSurfaceCode &code,
 void
 SharedOffchipService::enqueue(Request request)
 {
+    BTWC_CHECK_MSG(request.owner >= 0 &&
+                       (request.half == 0 || request.half == 1),
+                   "requests carry a valid (owner, half) tag");
+    if (audit_basic()) {
+        // The reconciliation contract (core/system.hpp): a half never
+        // escalates while its previous request is outstanding. The
+        // per-(owner, half) scan is bounded by pending() <= 2 * owners.
+        for (size_t i = 0; i < waiting_.size(); ++i) {
+            const Request &other = waiting_.at(i);
+            BTWC_CHECK_MSG(other.owner != request.owner ||
+                               other.half != request.half,
+                           "one outstanding off-chip request per "
+                           "(owner, half): already waiting");
+        }
+        for (size_t i = 0; i < inflight_.size(); ++i) {
+            const Delivery &other = inflight_.at(i);
+            BTWC_CHECK_MSG(other.owner != request.owner ||
+                               other.half != request.half,
+                           "one outstanding off-chip request per "
+                           "(owner, half): already in flight");
+        }
+    }
+    request.seq = next_seq_++;
+    if (request.owner + 1 > owners_seen_) {
+        owners_seen_ = request.owner + 1;
+    }
     waiting_.push_back(std::move(request));
     ++fresh_;
 }
@@ -91,7 +118,60 @@ SharedOffchipService::step()
     for (uint64_t i = 0; i < sr.landed; ++i) {
         landed_now_.push_back(inflight_.pop_front());
     }
+    if (audit_deep()) {
+        audit();
+    }
     return landed_now_;
+}
+
+void
+SharedOffchipService::audit() const
+{
+    queue_.audit();
+    BTWC_CHECK_MSG(waiting_.size() == queue_.backlog() + fresh_,
+                   "payload waiting FIFO tracks the counting queue's "
+                   "backlog plus the not-yet-stepped fresh demand");
+    BTWC_CHECK_MSG(inflight_.size() == queue_.in_flight(),
+                   "payload in-flight FIFO tracks the counting queue");
+
+    for (size_t i = 0; i < waiting_.size(); ++i) {
+        const Request &request = waiting_.at(i);
+        if (i > 0) {
+            BTWC_CHECK_MSG(request.seq > waiting_.at(i - 1).seq,
+                           "waiting requests stay in arrival order "
+                           "(strict FIFO across owners)");
+        }
+        // <= 1 outstanding per (owner, half): no duplicate later in
+        // the waiting FIFO, and nothing in flight for the same half.
+        for (size_t j = i + 1; j < waiting_.size(); ++j) {
+            const Request &other = waiting_.at(j);
+            BTWC_CHECK_MSG(other.owner != request.owner ||
+                               other.half != request.half,
+                           "at most one waiting request per "
+                           "(owner, half)");
+        }
+        for (size_t j = 0; j < inflight_.size(); ++j) {
+            const Delivery &other = inflight_.at(j);
+            BTWC_CHECK_MSG(other.owner != request.owner ||
+                               other.half != request.half,
+                           "a half with an in-flight correction never "
+                           "waits on a second request");
+        }
+    }
+    for (size_t i = 0; i < inflight_.size(); ++i) {
+        const Delivery &delivery = inflight_.at(i);
+        for (size_t j = i + 1; j < inflight_.size(); ++j) {
+            const Delivery &other = inflight_.at(j);
+            BTWC_CHECK_MSG(other.owner != delivery.owner ||
+                               other.half != delivery.half,
+                           "at most one in-flight correction per "
+                           "(owner, half)");
+        }
+    }
+    BTWC_CHECK_MSG(pending() <=
+                       2 * static_cast<size_t>(owners_seen_),
+                   "the one-request-per-half contract bounds the link "
+                   "backlog at two entries per tenant");
 }
 
 } // namespace btwc

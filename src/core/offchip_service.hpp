@@ -64,6 +64,12 @@ class SharedOffchipService
          */
         bool oracle = false;
         std::vector<uint8_t> payload;
+        /**
+         * Link-wide FIFO sequence number, assigned by `enqueue` (any
+         * caller-provided value is overwritten). The audit tier uses
+         * it to prove served order == arrival order across owners.
+         */
+        uint64_t seq = 0;
     };
 
     /** A correction routed back to its owning tenant half. */
@@ -102,10 +108,28 @@ class SharedOffchipService
     /** Requests enqueued or in flight whose correction has not landed. */
     size_t pending() const { return waiting_.size() + inflight_.size(); }
 
+    /**
+     * Verify the shared-link contracts in place: the underlying
+     * `OffchipQueue` audit, payload FIFOs in lockstep with the
+     * counting FIFOs (waiting == backlog + fresh, in-flight counts
+     * match), strictly increasing sequence numbers along the waiting
+     * FIFO (FIFO across owners), at most one outstanding request per
+     * (owner, half) across waiting + in-flight, and the resulting
+     * `pending() <= 2 * owners` backlog bound. Runs automatically
+     * after every `step()` at AuditLevel::Deep (enqueue additionally
+     * rejects double-enqueues at AuditLevel::Basic); throws
+     * CheckFailure.
+     */
+    void audit() const;
+
   private:
+    friend struct OffchipServiceTestPeer;  ///< test-only corruption hook
+
     OffchipQueue queue_;
     std::vector<TierChain> chains_;  ///< per half, indexed by error type
     uint64_t fresh_ = 0;             ///< enqueued since the last step()
+    uint64_t next_seq_ = 0;          ///< arrival stamp for Request::seq
+    int owners_seen_ = 0;            ///< 1 + largest owner ever enqueued
     // Payload FIFOs in the same order as the queue's counting FIFOs:
     // the per-cycle served/landed counts say how many entries to move.
     HeadFifo<Request> waiting_;

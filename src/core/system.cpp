@@ -1,5 +1,7 @@
 #include "core/system.hpp"
 
+#include "common/check.hpp"
+
 namespace btwc {
 
 CliqueVerdict
@@ -176,7 +178,52 @@ BtwcSystem::step()
     }
 
     ++cycles_;
+    if (audit_deep()) {
+        audit_offchip_state();
+    }
     return report;
+}
+
+void
+BtwcSystem::audit_offchip_state() const
+{
+    for (const Half &half : halves_) {
+        half.raw.audit();
+        half.filter.filtered().audit();
+    }
+    if (config_.service != OffchipService::Queued) {
+        return;
+    }
+    if (shared_ != nullptr) {
+        // Shared-link tenancy: payloads live on the service (audited
+        // there); locally only the busy flags track outstanding work.
+        return;
+    }
+    queue_.audit();
+    BTWC_CHECK_MSG(waiting_.size() == queue_.backlog(),
+                   "payload waiting FIFO tracks the counting queue");
+    BTWC_CHECK_MSG(inflight_.size() == queue_.in_flight(),
+                   "payload in-flight FIFO tracks the counting queue");
+    BTWC_CHECK_MSG(waiting_.size() + inflight_.size() <= 2,
+                   "the one-request-per-half contract bounds pending "
+                   "work at two entries");
+    int outstanding[2] = {0, 0};
+    for (size_t i = 0; i < waiting_.size(); ++i) {
+        const int half = waiting_.at(i).half;
+        BTWC_CHECK(half == 0 || half == 1);
+        ++outstanding[half];
+    }
+    for (size_t i = 0; i < inflight_.size(); ++i) {
+        const int half = inflight_.at(i).half;
+        BTWC_CHECK(half == 0 || half == 1);
+        ++outstanding[half];
+    }
+    for (int half = 0; half < 2; ++half) {
+        BTWC_CHECK_MSG(outstanding[half] <= 1,
+                       "at most one outstanding request per half");
+        BTWC_CHECK_MSG((outstanding[half] == 1) == half_busy_[half],
+                       "half_busy_ mirrors the outstanding request");
+    }
 }
 
 void

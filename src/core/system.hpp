@@ -269,6 +269,16 @@ class BtwcSystem
     /** Serve and land queued escalations for one cycle (phase 3). */
     void service_offchip(uint64_t fresh, CycleReport &report);
 
+    /**
+     * Verify the reconciliation contract after a cycle: payload FIFOs
+     * in lockstep with the counting queue, at most one outstanding
+     * request per half (so waiting + in-flight <= 2), every
+     * outstanding entry's half flagged busy and vice versa, and the
+     * per-cycle syndrome/filter tail-word invariants. Runs at the end
+     * of step() under AuditLevel::Deep; throws CheckFailure.
+     */
+    void audit_offchip_state() const;
+
     const RotatedSurfaceCode &code_;
     NoiseParams noise_;
     SystemConfig config_;

@@ -46,6 +46,7 @@ Decoder::decode_batch(const std::vector<std::vector<DetectionEvent>> &batch,
 Decoder::Result
 Decoder::decode_syndrome(const std::vector<uint8_t> &syndrome) const
 {
+    thread_owner_.assert_single_thread_owner();
     events_from_syndrome(syndrome, events_scratch_);
     return decode(events_scratch_, 1);
 }
@@ -53,6 +54,7 @@ Decoder::decode_syndrome(const std::vector<uint8_t> &syndrome) const
 void
 Decoder::decode_packed(const PackedSyndrome &syndrome, Result &out) const
 {
+    thread_owner_.assert_single_thread_owner();
     events_from_packed(syndrome, events_scratch_);
     out = decode(events_scratch_, 1);
 }

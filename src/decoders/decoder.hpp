@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hpp"
 #include "surface/lattice.hpp"
 #include "surface/packed.hpp"
 
@@ -142,6 +143,19 @@ class Decoder
     /** Single-round event scratch shared by the decode_syndrome /
      * decode_packed wrappers (see the concurrency note above). */
     mutable std::vector<DetectionEvent> events_scratch_;
+
+    /**
+     * Machine-checks the concurrency note above: the pooled scratch
+     * (events_scratch_, and every backend's private scratch) belongs
+     * to the thread that first decodes with this instance. Backends
+     * call `thread_owner_.assert_single_thread_owner()` on their
+     * pooled-scratch entry points; the guard is active at
+     * AuditLevel::Basic and above (debug builds, --audit runs) and a
+     * single relaxed load otherwise. Ownership binds at first use,
+     * not construction — harnesses build decoder stacks on the main
+     * thread and hand each stack to one worker shard.
+     */
+    SingleThreadOwner thread_owner_;
 };
 
 } // namespace btwc

@@ -1,8 +1,8 @@
 #include "decoders/lookup_table.hpp"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.hpp"
 #include "decoders/exact_decoder.hpp"
 
 namespace btwc {
@@ -29,7 +29,7 @@ LookupTableDecoder::LookupTableDecoder(const RotatedSurfaceCode &code,
             syndrome[c] = (s >> c) & 1 ? 1 : 0;
         }
         const Result fix = teacher.decode_syndrome(syndrome);
-        assert(fix.resolved);
+        BTWC_CHECK(fix.resolved);
         std::copy(fix.correction.begin(), fix.correction.end(),
                   corrections_.begin() + s * static_cast<size_t>(num_data_));
         weights_[s] = fix.weight;
@@ -55,8 +55,8 @@ LookupTableDecoder::decode(const std::vector<DetectionEvent> &events,
     }
     size_t index = 0;
     for (const DetectionEvent &event : events) {
-        assert(event.round == 0);
-        assert(event.check >= 0 && event.check < num_checks_);
+        BTWC_AUDIT(event.round == 0);
+        BTWC_AUDIT(event.check >= 0 && event.check < num_checks_);
         index |= size_t(1) << event.check;
     }
     const uint8_t *entry =

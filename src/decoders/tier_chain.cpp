@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/check.hpp"
+
 #include "decoders/clique_tier.hpp"
 #include "decoders/exact_decoder.hpp"
 #include "decoders/lookup_table.hpp"
@@ -210,6 +212,29 @@ TierChain::TierChain(const RotatedSurfaceCode &code, CheckType detector,
     for (const TierSpec &tier : config_.tiers) {
         tiers_.push_back(make_tier_decoder(tier.kind, code, detector));
     }
+    if (audit_deep()) {
+        audit();
+    }
+}
+
+void
+TierChain::audit() const
+{
+    BTWC_CHECK_MSG(!tiers_.empty() &&
+                       tiers_.size() == config_.tiers.size(),
+                   "one constructed decoder per configured tier");
+    bool seen_offchip = false;
+    for (size_t i = 0; i < tiers_.size(); ++i) {
+        BTWC_CHECK_MSG(tiers_[i] != nullptr, "every tier has a decoder");
+        BTWC_CHECK_MSG(tiers_[i]->detector() == detector_,
+                       "every tier decodes this chain's detector type");
+        if (seen_offchip) {
+            BTWC_CHECK_MSG(config_.tiers[i].offchip,
+                           "escalation monotonicity: on-chip tiers form "
+                           "a prefix, a signature never returns on-chip");
+        }
+        seen_offchip = seen_offchip || config_.tiers[i].offchip;
+    }
 }
 
 TierChain::Result
@@ -307,6 +332,7 @@ TierChain::Result
 TierChain::decode_syndrome(const std::vector<uint8_t> &syndrome,
                            const Options &options) const
 {
+    thread_owner_.assert_single_thread_owner();
     events_from_syndrome(syndrome, events_scratch_);
     return decode(events_scratch_, 1, options);
 }
@@ -315,6 +341,7 @@ void
 TierChain::decode_syndrome(const PackedSyndrome &syndrome,
                            const Options &options, Result &out) const
 {
+    thread_owner_.assert_single_thread_owner();
     out.effort = 0;
     out.offchip = false;
     out.resolved = true;
@@ -347,6 +374,9 @@ TierChain::decode_syndrome(const PackedSyndrome &syndrome,
             out.decode.effort = 0;
             out.decode.resolved = true;
             out.decode.defects = syndrome.popcount();
+            if (audit_deep()) {
+                audit_packed_result(syndrome, options, out);
+            }
             return;
         }
         tiers_[i]->decode_packed(syndrome, attempt_scratch_);
@@ -361,9 +391,40 @@ TierChain::decode_syndrome(const PackedSyndrome &syndrome,
             out.resolved = attempt_scratch_.resolved;
             out.effort = observed_effort;
             std::swap(out.decode, attempt_scratch_);
+            if (audit_deep()) {
+                audit_packed_result(syndrome, options, out);
+            }
             return;
         }
     }
+}
+
+void
+TierChain::audit_packed_result(const PackedSyndrome &syndrome,
+                               const Options &options,
+                               const Result &out) const
+{
+    syndrome.audit();
+    std::vector<uint8_t> bytes;
+    syndrome.to_bytes(bytes);
+    const Result reference = decode_syndrome(bytes, options);
+    BTWC_CHECK_MSG(reference.tier_index == out.tier_index &&
+                       reference.tier == out.tier &&
+                       reference.offchip == out.offchip &&
+                       reference.resolved == out.resolved &&
+                       reference.effort == out.effort,
+                   "packed walk reaches the byte walk's escalation "
+                   "decision");
+    BTWC_CHECK_MSG(reference.decode.weight == out.decode.weight &&
+                       reference.decode.defects == out.decode.defects &&
+                       reference.decode.effort == out.decode.effort &&
+                       reference.decode.resolved == out.decode.resolved,
+                   "packed decode result matches the byte-path decode "
+                   "(pooled-Result scratch reuse leaked state "
+                   "otherwise)");
+    BTWC_CHECK_MSG(reference.decode.correction == out.decode.correction,
+                   "packed correction mask is bit-exact with the "
+                   "byte path");
 }
 
 } // namespace btwc

@@ -226,7 +226,30 @@ class TierChain
         return decode_syndrome(syndrome, Options());
     }
 
+    /**
+     * Verify the chain's structural invariants: a non-empty tier list
+     * with one live decoder per spec, every decoder built for this
+     * chain's detector, and escalation monotonicity — on-chip tiers
+     * form a prefix, so once a signature leaves the chip it never
+     * comes back (the assumption behind the off-chip resume contract
+     * of decode_from and the queued service). Runs automatically from
+     * the constructor at AuditLevel::Deep; throws CheckFailure.
+     */
+    void audit() const;
+
   private:
+    /**
+     * Deep-audit one packed decode: re-run the equivalent byte-path
+     * walk and require a bit-identical Result. This machine-checks
+     * both the packed/byte escalation equivalence and pooled-Result
+     * statelessness (the swap-accept scratch reuse must not leak
+     * state between cycles — a second decode of the same syndrome
+     * through the other path yields the same answer).
+     */
+    void audit_packed_result(const PackedSyndrome &syndrome,
+                             const Options &options,
+                             const Result &out) const;
+
     CheckType detector_;
     TierChainConfig config_;
     std::vector<std::unique_ptr<Decoder>> tiers_;
@@ -234,6 +257,10 @@ class TierChain
     // accept so vector capacity ping-pongs between the two).
     mutable Decoder::Result attempt_scratch_;
     mutable std::vector<DetectionEvent> events_scratch_;
+    /** Single-owner guard over the pooled scratch above (the
+     * "concurrent shards own their chains" rule, machine-checked at
+     * AuditLevel::Basic and above). */
+    SingleThreadOwner thread_owner_;
 };
 
 } // namespace btwc

@@ -1,7 +1,8 @@
 #include "matching/blossom.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hpp"
 
 namespace btwc {
 
@@ -17,7 +18,7 @@ MaxWeightMatching::MaxWeightMatching(int n)
 void
 MaxWeightMatching::reset(int n)
 {
-    assert(n >= 0);
+    BTWC_CHECK(n >= 0);
     n_ = n;
     n_x_ = n;
     const int size = 2 * n_ + 1;
@@ -44,6 +45,9 @@ MaxWeightMatching::reset(int n)
         // Rows sized for the largest n this capacity can host, so a
         // smaller later instance never outgrows them.
         flower_from_.assign(size, std::vector<int>(n_ + 1, 0));
+        if (audit_deep()) {
+            audit_slots(true);
+        }
         return;
     }
     // Reuse path: restore the canonical slot state `Edge{u, v, 0}`
@@ -65,12 +69,37 @@ MaxWeightMatching::reset(int n)
     // millions of decodes (fresh instances restarted it implicitly).
     visit_stamp_ = 0;
     std::fill(vis_.begin(), vis_.end(), 0);
+    if (audit_deep()) {
+        audit_slots(true);
+    }
+}
+
+void
+MaxWeightMatching::audit_slots(bool expect_cleared) const
+{
+    const int size = 2 * n_ + 1;
+    BTWC_CHECK_MSG(capacity_ >= size &&
+                       static_cast<int>(g_.size()) >= size,
+                   "matcher capacity covers the active instance");
+    for (int u = 0; u < size; ++u) {
+        const Edge *row = g_[u].data();
+        for (int v = 0; v < size; ++v) {
+            BTWC_CHECK_MSG(row[v].u == u && row[v].v == v,
+                           "blossom slot endpoints must be canonical "
+                           "after reset");
+            if (expect_cleared) {
+                BTWC_CHECK_MSG(row[v].w == 0,
+                               "reset must clear every edge weight");
+            }
+        }
+    }
 }
 
 void
 MaxWeightMatching::set_weight(int u, int v, int64_t w)
 {
-    assert(u != v && u >= 0 && v >= 0 && u < n_ && v < n_ && w >= 0);
+    BTWC_AUDIT(u != v && u >= 0 && v >= 0 && u < n_ && v < n_ &&
+               w >= 0);
     g_[u + 1][v + 1].w = w;
     g_[v + 1][u + 1].w = w;
 }
@@ -423,7 +452,7 @@ std::vector<int>
 min_weight_perfect_matching(int n,
                             const std::vector<std::vector<int64_t>> &weights)
 {
-    assert(n % 2 == 0);
+    BTWC_CHECK(n % 2 == 0);
     if (n == 0) {
         return {};
     }

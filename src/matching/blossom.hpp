@@ -55,6 +55,16 @@ class MaxWeightMatching
     /** Total weight of the matching computed by `solve()`. */
     int64_t total_weight() const { return total_weight_; }
 
+    /**
+     * Verify the pooled-slot invariant over the active (2n+1)^2
+     * region: every edge slot holds canonical endpoints Edge{u, v, .}
+     * (add_blossom overwrites them; reset must restore them), and
+     * with `expect_cleared` additionally zero weight — the exact
+     * postcondition of reset(). Runs automatically at the end of
+     * reset() under AuditLevel::Deep. Throws CheckFailure.
+     */
+    void audit_slots(bool expect_cleared) const;
+
   private:
     struct Edge
     {

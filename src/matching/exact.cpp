@@ -1,7 +1,8 @@
 #include "matching/exact.hpp"
 
-#include <cassert>
 #include <cstddef>
+
+#include "common/check.hpp"
 
 namespace btwc {
 
@@ -13,7 +14,7 @@ int64_t
 exact_min_weight_perfect(int n,
                          const std::vector<std::vector<int64_t>> &weights)
 {
-    assert(n >= 0 && n % 2 == 0 && n <= 24);
+    BTWC_CHECK(n >= 0 && n % 2 == 0 && n <= 24);
     if (n == 0) {
         return 0;
     }
@@ -49,7 +50,7 @@ exact_min_weight_with_boundary(int n,
                                const std::vector<std::vector<int64_t>> &weights,
                                const std::vector<int64_t> &boundary)
 {
-    assert(n >= 0 && n <= 24);
+    BTWC_CHECK(n >= 0 && n <= 24);
     if (n == 0) {
         return 0;
     }
@@ -84,7 +85,7 @@ exact_min_weight_with_boundary_mates(
     int n, const std::vector<std::vector<int64_t>> &weights,
     const std::vector<int64_t> &boundary, std::vector<int> &mates)
 {
-    assert(n >= 0 && n <= 24);
+    BTWC_CHECK(n >= 0 && n <= 24);
     mates.assign(static_cast<size_t>(n), -1);
     if (n == 0) {
         return 0;
@@ -145,10 +146,8 @@ exact_min_weight_with_boundary_mates(
                 break;
             }
         }
-        assert(advanced && "DP table admits a consistent backtrack");
-        if (!advanced) {
-            return -1;  // unreachable; keeps release builds safe
-        }
+        BTWC_CHECK_MSG(advanced,
+                       "DP table admits a consistent backtrack");
     }
     return best[size - 1];
 }

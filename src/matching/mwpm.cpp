@@ -1,12 +1,12 @@
 #include "matching/mwpm.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <queue>
 
+#include "common/check.hpp"
 #include "matching/blossom.hpp"
 #include "matching/exact.hpp"
 #include "surface/distance.hpp"
@@ -40,7 +40,7 @@ constexpr int kSparseMinDefects = 32;
 int
 log_likelihood_weight(double p, double scale)
 {
-    assert(p > 0.0 && p < 1.0);
+    BTWC_CHECK(p > 0.0 && p < 1.0);
     const double w = scale * std::log((1.0 - p) / p);
     return w < 1.0 ? 1 : static_cast<int>(std::lround(w));
 }
@@ -101,8 +101,8 @@ MwpmDecoder::MwpmDecoder(const RotatedSurfaceCode &code, CheckType detector,
       matcher_(matcher), fast_(fast),
       scratch_(std::make_unique<Scratch>())
 {
-    assert(space_weight >= 1 && time_weight >= 1);
-    assert(fast_.knn >= 0);
+    BTWC_CHECK(space_weight >= 1 && time_weight >= 1);
+    BTWC_CHECK(fast_.knn >= 0);
 }
 
 MwpmDecoder::~MwpmDecoder() = default;
@@ -111,6 +111,7 @@ MwpmDecoder::Result
 MwpmDecoder::decode(const std::vector<DetectionEvent> &events,
                     int rounds) const
 {
+    thread_owner_.assert_single_thread_owner();
     return decode_impl(events, rounds, *scratch_);
 }
 
@@ -118,6 +119,7 @@ std::vector<MwpmDecoder::Result>
 MwpmDecoder::decode_batch(
     const std::vector<std::vector<DetectionEvent>> &batch, int rounds) const
 {
+    thread_owner_.assert_single_thread_owner();
     std::vector<Result> results;
     results.reserve(batch.size());
     for (const std::vector<DetectionEvent> &events : batch) {
@@ -136,7 +138,7 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
     if (events.empty()) {
         return result;
     }
-    assert(rounds >= 1);
+    BTWC_CHECK(rounds >= 1);
 
     const int k = static_cast<int>(events.size());
     const size_t ks = static_cast<size_t>(k);
@@ -160,8 +162,8 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
 
     if (fast) {
         for (int i = 0; i < k; ++i) {
-            assert(events[i].round >= 0 && events[i].round < rounds);
-            assert(events[i].check >= 0 && events[i].check < num_checks_);
+            BTWC_AUDIT(events[i].round >= 0 && events[i].round < rounds);
+            BTWC_AUDIT(events[i].check >= 0 && events[i].check < num_checks_);
             boundary_dist[i] =
                 oracle->boundary_hops(events[i].check) + 1;
             for (int j = 0; j < i; ++j) {
@@ -187,8 +189,8 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
         std::vector<int> &boundary_via = scratch.boundary_via;
 
         for (int i = 0; i < k; ++i) {
-            assert(events[i].round >= 0 && events[i].round < rounds);
-            assert(events[i].check >= 0 && events[i].check < num_checks_);
+            BTWC_AUDIT(events[i].round >= 0 && events[i].round < rounds);
+            BTWC_AUDIT(events[i].check >= 0 && events[i].check < num_checks_);
             dist[i].assign(num_nodes, -1);
             parent_node[i].assign(num_nodes, kNoNode);
             parent_data[i].assign(num_nodes, -1);
@@ -277,9 +279,8 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
         }
         const int64_t total = exact_min_weight_with_boundary_mates(
             k, dp_w, boundary_dist, mate_defect);
-        assert(total >= 0 &&
-               "defect graph always admits a boundary matching");
-        (void)total;
+        BTWC_CHECK_MSG(total >= 0,
+                       "defect graph always admits a boundary matching");
     } else {
         // Build the 2k matching instance in the pooled solver:
         // defects 0..k-1, boundary twins k..2k-1, twin-twin edges
@@ -368,8 +369,8 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
         const std::vector<int> mate = solver.solve();
         mate_defect.assign(ks, -1);
         for (int i = 0; i < k; ++i) {
-            assert(mate[i] >= 0 &&
-                   "defect graph always admits a perfect matching");
+            BTWC_CHECK_MSG(mate[i] >= 0,
+                           "defect graph always admits a perfect matching");
             // Matched to own boundary twin (twin-twin edges are only
             // interconnected among themselves) or to another defect.
             mate_defect[i] = mate[i] < k ? mate[i] : -1;
@@ -413,15 +414,14 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
                     result.correction[via] ^= 1;
                 } else {
                     // Only the forward time edge can be closer.
-                    assert(r + 1 < rounds);
+                    BTWC_DCHECK(r + 1 < rounds);
                     ++r;
                 }
             }
             --cur_d;
         }
-        assert(c == sc && r == sr);
-        (void)sc;
-        (void)sr;
+        BTWC_AUDIT_MSG(c == sc && r == sr,
+                       "geodesic walk must terminate at the source defect");
     };
 
     auto legacy_walk_back = [&](int i, int from_node) {

@@ -1,7 +1,6 @@
 #include "matching/union_find.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
 
 #include "surface/packed.hpp"

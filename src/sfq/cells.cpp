@@ -1,6 +1,6 @@
 #include "sfq/cells.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace btwc {
 
@@ -24,7 +24,7 @@ const CellSpec &
 cell_spec(CellType type)
 {
     const int idx = static_cast<int>(type);
-    assert(idx >= 0 && idx <= kNumCellTypes);
+    BTWC_CHECK(idx >= 0 && idx <= kNumCellTypes);
     return kCells[idx];
 }
 

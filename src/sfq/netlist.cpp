@@ -1,6 +1,6 @@
 #include "sfq/netlist.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 
 namespace btwc {
 
@@ -15,17 +15,16 @@ Netlist::add_input(std::string name)
 int
 Netlist::add_gate(CellType type, std::vector<int> fanins, std::string name)
 {
-    assert(type != CellType::Input);
+    BTWC_CHECK(type != CellType::Input);
     const size_t expected =
         (type == CellType::NOT || type == CellType::DFF ||
          type == CellType::SPLIT)
             ? 1
             : 2;
-    assert(fanins.size() == expected);
-    (void)expected;
+    BTWC_CHECK(fanins.size() == expected);
     for (const int f : fanins) {
-        assert(f >= 0 && f < size() && "fanins must precede the gate");
-        (void)f;
+        BTWC_CHECK_MSG(f >= 0 && f < size(),
+                       "fanins must precede the gate");
     }
     nodes_.push_back(Node{type, std::move(fanins), std::move(name)});
     return size() - 1;
@@ -35,7 +34,7 @@ int
 Netlist::add_tree(CellType type, const std::vector<int> &inputs,
                   const std::string &name)
 {
-    assert(!inputs.empty());
+    BTWC_CHECK(!inputs.empty());
     std::vector<int> level = inputs;
     while (level.size() > 1) {
         std::vector<int> next;
@@ -53,7 +52,7 @@ Netlist::add_tree(CellType type, const std::vector<int> &inputs,
 void
 Netlist::mark_output(int node)
 {
-    assert(node >= 0 && node < size());
+    BTWC_CHECK(node >= 0 && node < size());
     outputs_.push_back(node);
 }
 

@@ -69,6 +69,17 @@ class CheckGraphDistances
      */
     int boundary_check(int c) const { return boundary_check_[c]; }
 
+    /**
+     * Re-verify the tables against the check graph itself: BFS
+     * optimality conditions (zero diagonal, symmetry, unit edge
+     * Lipschitz bound, a descending neighbor from every non-source
+     * check) uniquely pin the geodesic distances on a connected
+     * unit-weight graph, plus a re-derivation of the boundary
+     * (hops, id) argmin. Runs automatically from the constructor at
+     * AuditLevel::Deep; throws CheckFailure on any mismatch.
+     */
+    void audit(const RotatedSurfaceCode &code, CheckType type) const;
+
   private:
     int n_;
     std::vector<uint16_t> dist_;

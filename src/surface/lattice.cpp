@@ -1,6 +1,6 @@
 #include "surface/lattice.hpp"
 
-#include <cassert>
+#include "common/check.hpp"
 #include <cstdlib>
 
 #include "surface/distance.hpp"
@@ -50,7 +50,8 @@ plaquette_exists(int d, int pr, int pc)
 
 RotatedSurfaceCode::RotatedSurfaceCode(int distance) : d_(distance)
 {
-    assert(d_ >= 3 && d_ % 2 == 1 && "distance must be odd and >= 3");
+    BTWC_CHECK_MSG(d_ >= 3 && d_ % 2 == 1,
+                   "distance must be odd and >= 3");
     build_checks();
     build_incidence();
     build_cliques();
@@ -96,8 +97,8 @@ RotatedSurfaceCode::build_checks()
             checks_[index(t)].push_back(std::move(chk));
         }
     }
-    assert(num_checks(CheckType::X) == (d_ * d_ - 1) / 2);
-    assert(num_checks(CheckType::Z) == (d_ * d_ - 1) / 2);
+    BTWC_CHECK(num_checks(CheckType::X) == (d_ * d_ - 1) / 2);
+    BTWC_CHECK(num_checks(CheckType::Z) == (d_ * d_ - 1) / 2);
 }
 
 void
@@ -112,9 +113,9 @@ RotatedSurfaceCode::build_incidence()
             }
         }
         for (const auto &list : incidence) {
-            assert(list.size() >= 1 && list.size() <= 2 &&
-                   "every data qubit touches 1 or 2 checks per type");
-            (void)list;
+            BTWC_CHECK_MSG(list.size() >= 1 && list.size() <= 2,
+                           "every data qubit touches 1 or 2 checks "
+                           "per type");
         }
     }
 }

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace btwc {
 
 /** Number of 64-bit words covering `bits` bits. */
@@ -170,6 +172,26 @@ class PackedBits
     {
         out.assign(static_cast<size_t>(bits_), 0);
         for_each_set([&out](int i) { out[static_cast<size_t>(i)] = 1; });
+    }
+
+    /**
+     * Verify the class invariant: the word count covers exactly
+     * size() bits and every bit at position >= size() is zero (the
+     * property all whole-word reductions rely on). Raw `data()`
+     * writers are the only way to break it; audit() is how the deep
+     * audit tier catches them. Throws CheckFailure.
+     */
+    void audit() const
+    {
+        BTWC_CHECK_MSG(bits_ >= 0 &&
+                           num_words() == packed_words(bits_),
+                       "PackedBits word count must cover size() bits");
+        const int tail = bits_ & 63;
+        if (tail != 0) {
+            BTWC_CHECK_MSG((words_.back() >> tail) == 0,
+                           "PackedBits bits at positions >= size() "
+                           "must be zero");
+        }
     }
 
   private:
