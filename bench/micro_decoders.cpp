@@ -19,6 +19,7 @@
 #include "core/system.hpp"
 #include "decoders/exact_decoder.hpp"
 #include "decoders/lookup_table.hpp"
+#include "decoders/stream_window.hpp"
 #include "decoders/tier_chain.hpp"
 #include "matching/mwpm.hpp"
 #include "matching/union_find.hpp"
@@ -405,6 +406,34 @@ BM_MwpmDecodeLoop(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MwpmDecodeLoop)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_StreamWindowDecode(benchmark::State &state)
+{
+    // Steady-state streaming decode: per-round cost of push_round
+    // (word-parallel diff extraction plus the amortized sliding-window
+    // decodes) over a pre-sampled loop of raw syndrome rounds, with a
+    // UF(2) screening tier absorbing the easy windows — the sustained
+    // decodes/sec point behind the stream-quick scenario.
+    const RotatedSurfaceCode code(static_cast<int>(state.range(0)));
+    StreamWindowConfig config;
+    config.screen = {TierSpec::union_find(2)};
+    StreamWindowDecoder stream(code, CheckType::Z, config);
+    ErrorFrame frame(code, CheckType::X);
+    Rng rng(15);
+    std::vector<PackedSyndrome> raws(256);
+    for (PackedSyndrome &raw : raws) {
+        frame.inject(3e-3, rng);
+        frame.measure_packed(3e-3, rng, raw);
+    }
+    size_t i = 0;
+    for (auto _ : state) {
+        stream.push_round(raws[i++ & 255]);
+    }
+    benchmark::DoNotOptimize(stream.stats().windows);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamWindowDecode)->Arg(9)->Arg(21);
 
 void
 BM_ExactDecodeSyndrome(benchmark::State &state)

@@ -219,6 +219,24 @@ echo "== perf trajectory gate: btwc_diff vs committed BENCH_scenario.json =="
 }
 
 echo
+echo "== streaming decode gate: btwc_run stream-quick -> BENCH_stream.json =="
+# The sliding-window streaming leg: the pinned stream-quick scenario
+# (UF-screened sliding-window MWPM over a 4k-round syndrome stream)
+# runs single-threaded under deep audits — every window decode
+# re-proves the defect conservation ledger and the pair-path XOR
+# contract — and its metrics subtree (counters, commit-lag histogram,
+# conservation totals) must match the committed artifact exactly. The
+# walltime sidecar carries the sustained decodes/sec and rounds/sec.
+FRESH_STREAM="build-release/BENCH_stream.fresh.json"
+./build-release/btwc_run stream-quick --threads 1 --repeat 3 --audit deep \
+    --json "${FRESH_STREAM}" > /dev/null
+./build-release/btwc_diff BENCH_stream.json "${FRESH_STREAM}" || {
+    echo "stream metrics drifted; if intentional:" >&2
+    echo "  cp ${FRESH_STREAM} BENCH_stream.json  # and commit" >&2
+    exit 1
+}
+
+echo
 echo "== micro benchmarks: micro_decoders -> BENCH_decoders.json =="
 # Matcher/decoder microbenchmarks join the perf trajectory next to the
 # scenario Report. --benchmark_min_time is pinned so archived numbers
@@ -228,7 +246,7 @@ echo "== micro benchmarks: micro_decoders -> BENCH_decoders.json =="
 # when google-benchmark is absent (micro_decoders is not built then).
 if [[ -x build-release/micro_decoders ]]; then
     ./build-release/micro_decoders \
-        --benchmark_filter='BM_MwpmDecodeSingle|BM_SpacetimeMwpmWindow|BM_MwpmDecodeBatch|BM_LutDecode|BM_CliqueScreen|BM_UnionFindDecodeByte|BM_UnionFindDecodePacked|BM_SyndromeExtract' \
+        --benchmark_filter='BM_MwpmDecodeSingle|BM_SpacetimeMwpmWindow|BM_MwpmDecodeBatch|BM_LutDecode|BM_CliqueScreen|BM_UnionFindDecodeByte|BM_UnionFindDecodePacked|BM_SyndromeExtract|BM_StreamWindowDecode' \
         --benchmark_min_time=0.05 \
         --json build-release/BENCH_decoders.json
 else

@@ -59,6 +59,13 @@ scenario_registry()
         {"fleet-private",
          "exact fleet with per-qubit private synchronous queues",
          "kind=exact-fleet,d=5,p=6e-3,fleet=8,cycles=3000"},
+        {"stream-quick",
+         "sliding-window streaming decode with a UF screening tier",
+         "kind=stream,d=5,p=3e-3,window=8,overlap=2,cycles=4000,"
+         "tiers=uf:2,stream"},
+        {"stream-soak",
+         "long bare-MWPM stream at d=7 (bounded-memory soak point)",
+         "kind=stream,d=7,p=2e-3,window=10,overlap=3,cycles=20000"},
     };
     return kRegistry;
 }

@@ -175,6 +175,29 @@ exact_fleet_metrics_report(const ExactFleetStats &stats)
     return metrics;
 }
 
+Report
+stream_metrics_report(const StreamStats &stats)
+{
+    Report metrics;
+    metrics.set("rounds", stats.window.rounds);
+    metrics.set("streams", stats.streams);
+    metrics.set("windows", stats.window.windows);
+    metrics.set("all_zero_windows", stats.window.all_zero_windows);
+    metrics.set("screened_windows", stats.window.screened_windows);
+    metrics.set("matched_windows", stats.window.matched_windows);
+    metrics.set("committed_rounds", stats.window.committed_rounds);
+    metrics.set("defects_in", stats.window.defects_in);
+    metrics.set("defects_committed", stats.window.defects_committed);
+    metrics.set("defects_carried", stats.window.defects_carried);
+    metrics.set("max_carried", stats.window.max_carried);
+    metrics.set("committed_weight", stats.window.committed_weight);
+    add_histogram(metrics, "commit_lag", stats.window.commit_lag);
+    add_histogram(metrics, "window_defects", stats.window.window_defects);
+    metrics.set("unclear_syndromes", stats.unclear_syndromes);
+    metrics.set("logical_failures", stats.logical_failures);
+    return metrics;
+}
+
 namespace {
 
 Report
@@ -291,6 +314,38 @@ run_exact_fleet_scenario(const ScenarioSpec &spec)
     return report;
 }
 
+Report
+run_stream_scenario(const ScenarioSpec &spec)
+{
+    const StreamConfig config = spec.to_stream_config();
+    Report report;
+    fill_scenario(report, spec);
+    Report &conf = report.child("config");
+    conf.set("distance", config.distance);
+    conf.set("p", config.p);
+    conf.set("p_meas", config.meas_probability());
+    conf.set("window", config.window);
+    conf.set("overlap", config.overlap);
+    conf.set("rounds", config.rounds);
+    conf.set("error_type",
+             config.error_type == CheckType::X ? "x" : "z");
+    fill_engine(conf, config.threads, config.seed);
+    const HarnessTimer timer;
+    const StreamStats stats = run_stream(config);
+    report.child("metrics") = stream_metrics_report(stats);
+    // decodes/sec counts window decodes (the decoder's unit of work);
+    // rounds/sec is the sustained stream throughput headline.
+    timer.fill(report, "decodes_per_sec", stats.window.windows);
+    Report &wall = report.child("walltime");
+    double ms = 0.0;
+    report.lookup_double("walltime.walltime_ms", &ms);
+    wall.set("rounds_per_sec",
+             ms > 0.0 ? static_cast<double>(stats.window.rounds) /
+                            (ms / 1000.0)
+                      : 0.0);
+    return report;
+}
+
 } // namespace
 
 Report
@@ -312,6 +367,8 @@ run_scenario(const ScenarioSpec &spec)
         return run_fleet_scenario(spec);
       case ScenarioKind::ExactFleet:
         return run_exact_fleet_scenario(spec);
+      case ScenarioKind::Stream:
+        return run_stream_scenario(spec);
     }
     return Report();
 }

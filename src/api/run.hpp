@@ -45,5 +45,6 @@ Report lifetime_metrics_report(const LifetimeStats &stats);
 Report memory_metrics_report(const MemoryResult &result);
 Report fleet_run_report(const FleetRunResult &run, uint64_t total_cycles);
 Report exact_fleet_metrics_report(const ExactFleetStats &stats);
+Report stream_metrics_report(const StreamStats &stats);
 
 } // namespace btwc

@@ -22,6 +22,8 @@ scenario_kind_name(ScenarioKind kind)
         return "fleet";
       case ScenarioKind::ExactFleet:
         return "exact-fleet";
+      case ScenarioKind::Stream:
+        return "stream";
     }
     return "?";
 }
@@ -49,6 +51,9 @@ tiers_spec_string(const TierChainConfig &config)
             break;
           case DecoderTier::Lut:
             out += "lut";
+            break;
+          case DecoderTier::Stream:
+            out += "stream";
             break;
         }
         // Union-Find thresholds are always explicit (a bare "uf" would
@@ -97,10 +102,12 @@ struct SpecBuilder
         } else if (v == "exact-fleet" || v == "exact_fleet" ||
                    v == "exactfleet") {
             spec.kind = ScenarioKind::ExactFleet;
+        } else if (v == "stream") {
+            spec.kind = ScenarioKind::Stream;
         } else {
             set_error(error, "unknown scenario kind '" + v +
                                  "'; expected lifetime | memory | "
-                                 "fleet | exact-fleet");
+                                 "fleet | exact-fleet | stream");
             return false;
         }
         return true;
@@ -317,7 +324,7 @@ is_tier_token(const std::string &token)
     }
     return name == "clique" || name == "uf" || name == "union-find" ||
            name == "unionfind" || name == "mwpm" || name == "matching" ||
-           name == "exact" || name == "lut";
+           name == "exact" || name == "lut" || name == "stream";
 }
 
 /**
@@ -347,6 +354,7 @@ const struct FlagKeyMapping
     {"qubits", "qubits"},       {"q", "q"},
     {"hot_fraction", "hot_fraction"}, {"hot-fraction", "hot_fraction"},
     {"hot_mult", "hot_mult"},   {"hot-mult", "hot_mult"},
+    {"window", "window"},       {"overlap", "overlap"},
     {"cycles", "cycles"},       {"trials", "trials"},
     {"failures", "failures"},   {"threads", "threads"},
     {"seed", "seed"},           {"audit", "audit"},
@@ -456,6 +464,21 @@ apply_key(SpecBuilder &builder, const std::string &key,
         return builder.non_negative_double(
             "hot_mult", value, &spec.service.hot_mult, error);
     }
+    if (key == "window") {
+        return builder.positive_int("window", value, &spec.stream.window,
+                                    error);
+    }
+    if (key == "overlap") {
+        int64_t n = 0;
+        if (!parse_i64(value, &n) || n < 0) {
+            set_error(error, "bad overlap '" + value +
+                                 "'; expected an integer >= 0 smaller "
+                                 "than window");
+            return false;
+        }
+        spec.stream.overlap = static_cast<int>(n);
+        return true;
+    }
     if (key == "cycles") {
         return builder.u64("cycles", value, &spec.engine.cycles, error);
     }
@@ -485,6 +508,68 @@ apply_key(SpecBuilder &builder, const std::string &key,
     set_error(error, "unknown scenario key '" + key +
                          "' (see src/api/README.md for the grammar)");
     return false;
+}
+
+/**
+ * Cross-field validation shared by `try_parse` and `apply_flags`:
+ * stream window geometry and the stream-tier placement rules. Keeping
+ * it here (not only in the harness) turns a mis-specified scenario
+ * into a parse-time diagnostic instead of a CheckFailure mid-run.
+ */
+bool
+validate_spec(const ScenarioSpec &spec, std::string *error)
+{
+    if (spec.stream.overlap >= spec.stream.window) {
+        set_error(error,
+                  "bad stream window geometry: overlap (" +
+                      std::to_string(spec.stream.overlap) +
+                      ") must be smaller than window (" +
+                      std::to_string(spec.stream.window) +
+                      ") so the commit region is non-empty");
+        return false;
+    }
+    const bool has_stream = spec.tiers.contains_stream();
+    if (spec.kind != ScenarioKind::Stream) {
+        if (has_stream) {
+            set_error(error,
+                      "tier 'stream' is only valid in kind=stream "
+                      "scenarios (sliding-window decoding); drop the "
+                      "tier or add the bare token 'stream' before "
+                      "tiers=");
+            return false;
+        }
+        return true;
+    }
+    if (!has_stream) {
+        // The untouched default chain denotes the bare sliding-window
+        // MWPM; any other explicit chain is a mistake.
+        if (spec.tiers.describe() != TierChainConfig::legacy().describe()) {
+            set_error(error,
+                      "a kind=stream chain must end with the stream "
+                      "tier (e.g. tiers=uf:2,stream)");
+            return false;
+        }
+        return true;
+    }
+    const std::vector<TierSpec> &tiers = spec.tiers.tiers;
+    for (size_t i = 0; i < tiers.size(); ++i) {
+        if (tiers[i].kind == DecoderTier::Stream) {
+            if (i + 1 != tiers.size()) {
+                set_error(error,
+                          "the stream tier must be the final tier of "
+                          "a kind=stream chain");
+                return false;
+            }
+        } else if (tiers[i].kind != DecoderTier::UnionFind) {
+            set_error(error,
+                      std::string("kind=stream chains admit only "
+                                  "union-find screening tiers before "
+                                  "the final stream tier; got '") +
+                          decoder_tier_name(tiers[i].kind) + "'");
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace
@@ -540,7 +625,7 @@ ScenarioSpec::try_parse(const std::string &spec, ScenarioSpec *out,
             builder.tiers_value += token;
         } else if (token == "lifetime" || token == "memory" ||
                    token == "fleet" || token == "exact-fleet" ||
-                   token == "exact_fleet") {
+                   token == "exact_fleet" || token == "stream") {
             tiers_accumulating = false;
             if (!builder.kind(token, error)) {
                 return false;
@@ -561,9 +646,9 @@ ScenarioSpec::try_parse(const std::string &spec, ScenarioSpec *out,
                       "unknown scenario token '" + token + "' in '" +
                           spec +
                           "'; expected key=value, a kind (lifetime | "
-                          "memory | fleet | exact-fleet), pipeline | "
-                          "signature | shared | weighted, or a tier "
-                          "continuation after tiers=");
+                          "memory | fleet | exact-fleet | stream), "
+                          "pipeline | signature | shared | weighted, "
+                          "or a tier continuation after tiers=");
             return false;
         }
         if (at_end) {
@@ -571,6 +656,9 @@ ScenarioSpec::try_parse(const std::string &spec, ScenarioSpec *out,
         }
     }
     if (!builder.finish_tiers(error)) {
+        return false;
+    }
+    if (!validate_spec(builder.spec, error)) {
         return false;
     }
     *out = std::move(builder.spec);
@@ -617,6 +705,12 @@ ScenarioSpec::to_string() const
     }
     if (code.error_type != defaults.code.error_type) {
         emit("error_type", code.error_type == CheckType::X ? "x" : "z");
+    }
+    if (stream.window != defaults.stream.window) {
+        emit("window", std::to_string(stream.window));
+    }
+    if (stream.overlap != defaults.stream.overlap) {
+        emit("overlap", std::to_string(stream.overlap));
     }
     if (tiers.describe() != defaults.tiers.describe()) {
         emit("tiers", tiers_spec_string(tiers));
@@ -740,6 +834,9 @@ ScenarioSpec::apply_flags(const Flags &flags, std::string *error)
     if (!builder.finish_tiers(error)) {
         return false;
     }
+    if (!validate_spec(builder.spec, error)) {
+        return false;
+    }
     if (!flags.ok()) {
         set_error(error, flags.error());
         return false;
@@ -810,6 +907,30 @@ ScenarioSpec::to_fleet_config() const
     config.seed = engine.seed;
     config.offchip_latency = service.latency;
     config.offchip_batch = service.batch;
+    return config;
+}
+
+StreamConfig
+ScenarioSpec::to_stream_config() const
+{
+    StreamConfig config;
+    config.distance = code.distance;
+    config.p = code.p;
+    config.p_meas = code.p_meas;
+    config.window = stream.window;
+    config.overlap = stream.overlap;
+    if (engine.cycles != 0) {
+        config.rounds = engine.cycles;
+    }
+    config.error_type = code.error_type;
+    // The untouched default (legacy) chain denotes the bare
+    // sliding-window MWPM (StreamConfig's empty-chain meaning); an
+    // explicit stream chain passes through verbatim.
+    if (tiers.contains_stream()) {
+        config.tiers = tiers;
+    }
+    config.threads = engine.threads;
+    config.seed = engine.seed;
     return config;
 }
 

@@ -10,6 +10,7 @@
 #include "sim/fleet.hpp"
 #include "sim/lifetime.hpp"
 #include "sim/memory.hpp"
+#include "sim/stream.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
@@ -23,6 +24,9 @@ namespace btwc {
  *              run_fleet_with_bandwidth    optional provisioned link
  *   ExactFleet fleet_demand_exact_stats  — fully simulated pipelines,
  *                                          private or shared link
+ *   Stream     run_stream                — sliding-window streaming
+ *                                          decode of one syndrome
+ *                                          stream
  */
 enum class ScenarioKind : uint8_t
 {
@@ -30,6 +34,7 @@ enum class ScenarioKind : uint8_t
     Memory = 1,
     Fleet = 2,
     ExactFleet = 3,
+    Stream = 4,
 };
 
 /** Canonical name of a kind ("lifetime" | "memory" | ...). */
@@ -62,6 +67,18 @@ struct ServiceSpec
     double hot_mult = 1.0;       ///< Fleet: hot-spot multiplier on q
 };
 
+/**
+ * The sliding-window geometry of a Stream scenario (grammar keys
+ * `window=` / `overlap=`; ignored by the batch kinds). Cross-field
+ * validation — a non-empty commit region needs overlap < window — is
+ * enforced by the spec parser with a diagnostic.
+ */
+struct StreamSpec
+{
+    int window = 8;   ///< W: rounds per decode window
+    int overlap = 2;  ///< V: rounds re-decoded next window
+};
+
 /** The Monte-Carlo engine side of a scenario. */
 struct EngineSpec
 {
@@ -90,10 +107,12 @@ struct EngineSpec
  *     d=21,p=1e-3,tiers=clique,uf:3,mwpm,latency=2,bandwidth=1,fleet=50
  *
  * Tokens are `key=value` pairs; a bare token is a scenario kind
- * (`lifetime` | `memory` | `fleet` | `exact-fleet`), a mode /
- * boolean shortcut (`pipeline`, `signature`, `shared`, `weighted`),
- * or — immediately after a `tiers=` assignment — a continuation of
- * the tier list (`uf:3`, `mwpm`, ... as in TierChainConfig::parse).
+ * (`lifetime` | `memory` | `fleet` | `exact-fleet` | `stream`), a
+ * mode / boolean shortcut (`pipeline`, `signature`, `shared`,
+ * `weighted`), or — immediately after a `tiers=` assignment — a
+ * continuation of the tier list (`uf:3`, `mwpm`, ... as in
+ * TierChainConfig::parse; `stream` right after `tiers=` is a tier,
+ * elsewhere the kind).
  * Full grammar: src/api/README.md. `to_string()` emits the canonical
  * ordering with defaulted fields omitted, and
  * `parse(spec.to_string()) == spec` for every valid spec.
@@ -107,6 +126,7 @@ struct ScenarioSpec
     DecoderArm arm = DecoderArm::CliqueMwpm;      ///< Memory kind
     bool weighted_matching = false;               ///< Memory kind
     ServiceSpec service;
+    StreamSpec stream;                            ///< Stream kind
     EngineSpec engine;
 
     /**
@@ -151,6 +171,13 @@ struct ScenarioSpec
     MemoryConfig to_memory_config() const;
     FleetConfig to_fleet_config() const;
     ExactFleetConfig to_exact_fleet_config() const;
+    /**
+     * Stream-kind adapter: `cycles` maps to the stream's total round
+     * budget. The untouched default (legacy) chain denotes the bare
+     * sliding-window MWPM; an explicitly set chain must end with the
+     * `stream` tier (parse-time diagnostic otherwise).
+     */
+    StreamConfig to_stream_config() const;
 
     /** Specs are equal iff their canonical strings are. */
     bool operator==(const ScenarioSpec &other) const

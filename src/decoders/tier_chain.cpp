@@ -31,6 +31,10 @@ make_tier_decoder(DecoderTier kind, const RotatedSurfaceCode &code,
         return std::make_unique<ExactDecoder>(code, detector);
       case DecoderTier::Lut:
         return std::make_unique<LookupTableDecoder>(code, detector);
+      case DecoderTier::Stream:
+        // Unreachable: the TierChain constructor rejects stream tiers
+        // before building decoders (see the check there).
+        return nullptr;
     }
     return nullptr;
 }
@@ -51,6 +55,8 @@ decoder_tier_name(DecoderTier tier)
         return "exact";
       case DecoderTier::Lut:
         return "lut";
+      case DecoderTier::Stream:
+        return "stream";
     }
     return "?";
 }
@@ -85,6 +91,14 @@ TierSpec::lut()
     // One table index per decode: cheap enough to live on-chip (the
     // hardware analogue is a syndrome-addressed ROM).
     return TierSpec{DecoderTier::Lut, -1, false};
+}
+
+TierSpec
+TierSpec::stream()
+{
+    // The sliding-window streaming matcher is the MWPM-class final
+    // tier of a kind=stream chain; like mwpm it lives off-chip.
+    return TierSpec{DecoderTier::Stream, -1, true};
 }
 
 TierChainConfig
@@ -152,12 +166,15 @@ TierChainConfig::try_parse(const std::string &spec, int uf_threshold,
             tier = TierSpec::exact();
         } else if (token == "lut") {
             tier = TierSpec::lut();
+        } else if (token == "stream") {
+            tier = TierSpec::stream();
         } else {
             if (error != nullptr) {
                 *error = "unknown decoder tier '" + token +
                          "' in spec '" + spec +
                          "'; expected clique | uf | union-find | mwpm "
-                         "| exact | lut (optionally ':<threshold>')";
+                         "| exact | lut | stream (optionally "
+                         "':<threshold>')";
             }
             return false;
         }
@@ -179,6 +196,17 @@ TierChainConfig::parse(const std::string &spec, int uf_threshold)
         throw std::invalid_argument(error);
     }
     return config;
+}
+
+bool
+TierChainConfig::contains_stream() const
+{
+    for (const TierSpec &tier : tiers) {
+        if (tier.kind == DecoderTier::Stream) {
+            return true;
+        }
+    }
+    return false;
 }
 
 std::string
@@ -208,6 +236,14 @@ TierChain::TierChain(const RotatedSurfaceCode &code, CheckType detector,
         // fall back to the paper's architecture (matching parse("")).
         config_ = TierChainConfig::legacy();
     }
+    // A clean diagnostic beats a null decoder: the stream tier is the
+    // sliding-window mode of kind=stream scenarios, never a batch
+    // chain member (scenario validation rejects it earlier with the
+    // same message for parsed specs).
+    BTWC_CHECK_MSG(!config_.contains_stream(),
+                   "tier 'stream' is only valid in kind=stream "
+                   "scenarios (sliding-window decoding); it cannot be "
+                   "a batch TierChain member");
     tiers_.reserve(config_.tiers.size());
     for (const TierSpec &tier : config_.tiers) {
         tiers_.push_back(make_tier_decoder(tier.kind, code, detector));

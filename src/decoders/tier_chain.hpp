@@ -18,10 +18,19 @@ enum class DecoderTier : uint8_t
     Mwpm = 2,       ///< full matching decoder (final tier)
     Exact = 3,      ///< brute-force matching oracle (cross-validation)
     Lut = 4,        ///< syndrome-indexed lookup table (small d, O(1))
+    /**
+     * Sliding-window streaming MWPM (decoders/stream_window.hpp).
+     * Stream-only: valid solely as the final tier of a `kind=stream`
+     * scenario's chain (any Union-Find tiers before it screen whole
+     * windows under the standard escalation contract). It is not a
+     * batch `Decoder` backend, so `TierChain` refuses to construct a
+     * chain containing it.
+     */
+    Stream = 5,
 };
 
 /** Number of DecoderTier enumerators (per-tier stats array size). */
-constexpr int kNumDecoderTiers = 5;
+constexpr int kNumDecoderTiers = 6;
 
 /** Display name of a tier. */
 const char *decoder_tier_name(DecoderTier tier);
@@ -56,6 +65,7 @@ struct TierSpec
     static TierSpec mwpm();
     static TierSpec exact();
     static TierSpec lut();
+    static TierSpec stream();
 };
 
 /** An ordered decode hierarchy configuration. */
@@ -72,13 +82,17 @@ struct TierChainConfig
     /**
      * Parse a comma-separated tier spec, e.g. "clique,uf,mwpm" or
      * "clique,union-find:3,exact". Recognized tiers: clique | uf |
-     * union-find | mwpm | exact | lut; an optional ":<n>" suffix sets the
-     * tier's escalation threshold (defaulting to `uf_threshold` for
-     * Union-Find tiers). An empty spec yields the legacy chain.
-     * Returns false on a malformed spec, leaving `out` untouched and
-     * storing a diagnostic in `error` (when non-null). Never
-     * terminates the process; the CLI exit-on-error behavior lives in
-     * `tiers_from_flags` (common/flags.hpp).
+     * union-find | mwpm | exact | lut | stream; an optional ":<n>"
+     * suffix sets the tier's escalation threshold (defaulting to
+     * `uf_threshold` for Union-Find tiers). An empty spec yields the
+     * legacy chain. The stream-only `stream` tier parses here so
+     * kind=stream scenario specs can carry it, but a chain containing
+     * it is rejected with a diagnostic at scenario validation
+     * (non-stream kinds, api/scenario.cpp) and at TierChain
+     * construction. Returns false on a malformed spec, leaving `out`
+     * untouched and storing a diagnostic in `error` (when non-null).
+     * Never terminates the process; the CLI exit-on-error behavior
+     * lives in `tiers_from_flags` (common/flags.hpp).
      */
     static bool try_parse(const std::string &spec, int uf_threshold,
                           TierChainConfig *out, std::string *error);
@@ -92,6 +106,9 @@ struct TierChainConfig
 
     /** Human-readable form, e.g. "clique>union-find(2)>mwpm". */
     std::string describe() const;
+
+    /** True when any tier is the stream-only sliding-window tier. */
+    bool contains_stream() const;
 };
 
 /**

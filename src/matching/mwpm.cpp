@@ -129,12 +129,24 @@ MwpmDecoder::decode_batch(
 }
 
 MwpmDecoder::Result
+MwpmDecoder::decode_matched(const std::vector<DetectionEvent> &events,
+                            int rounds, MwpmMatches &matches) const
+{
+    thread_owner_.assert_single_thread_owner();
+    return decode_impl(events, rounds, *scratch_, &matches);
+}
+
+MwpmDecoder::Result
 MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
-                         int rounds, Scratch &scratch) const
+                         int rounds, Scratch &scratch,
+                         MwpmMatches *matches) const
 {
     Result result;
     result.correction.assign(code_.num_data(), 0);
     result.defects = static_cast<int>(events.size());
+    if (matches != nullptr) {
+        matches->clear();
+    }
     if (events.empty()) {
         return result;
     }
@@ -383,6 +395,13 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
     // hop closer to the source — recomputable from distances alone,
     // no parent arrays needed. Corrections are therefore bit-exact
     // between the two paths (pinned by tests/test_fastpath.cpp).
+    auto toggle = [&](int via) {
+        result.correction[via] ^= 1;
+        if (matches != nullptr) {
+            matches->path_data.push_back(via);
+        }
+    };
+
     auto oracle_walk = [&](int i, int to_check, int to_round) {
         const int sc = events[i].check;
         const int sr = events[i].round;
@@ -411,7 +430,7 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
                 }
                 if (via >= 0) {
                     c = best_check;
-                    result.correction[via] ^= 1;
+                    toggle(via);
                 } else {
                     // Only the forward time edge can be closer.
                     BTWC_DCHECK(r + 1 < rounds);
@@ -431,7 +450,7 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
         while (scratch.parent_node[i][cur] != kNoNode) {
             const int via = scratch.parent_data[i][cur];
             if (via >= 0) {
-                result.correction[via] ^= 1;
+                toggle(via);
             }
             cur = scratch.parent_node[i][cur];
         }
@@ -439,26 +458,38 @@ MwpmDecoder::decode_impl(const std::vector<DetectionEvent> &events,
 
     for (int i = 0; i < k; ++i) {
         const int m = mate_defect[i];
+        if (m >= 0 && m < i) {
+            continue;  // pair already walked from its lower endpoint
+        }
+        const int path_begin =
+            matches != nullptr ? static_cast<int>(matches->path_data.size())
+                               : 0;
+        int64_t pair_weight = 0;
         if (m < 0) {
             // Boundary retirement: path to the nearest boundary qubit.
-            result.weight += boundary_dist[i];
+            pair_weight = boundary_dist[i];
             if (fast) {
                 const int bc = oracle->boundary_check(events[i].check);
-                result.correction[code_.boundary_data(detector_, bc)[0]] ^=
-                    1;
+                toggle(code_.boundary_data(detector_, bc)[0]);
                 oracle_walk(i, bc, events[i].round);
             } else {
-                result.correction[scratch.boundary_via[i]] ^= 1;
+                toggle(scratch.boundary_via[i]);
                 legacy_walk_back(i, scratch.boundary_node[i]);
             }
-        } else if (m > i) {
-            result.weight += defect_w[static_cast<size_t>(i) * ks + m];
+        } else {
+            pair_weight = defect_w[static_cast<size_t>(i) * ks + m];
             if (fast) {
                 oracle_walk(i, events[m].check, events[m].round);
             } else {
                 legacy_walk_back(
                     i, node_id(events[m].check, events[m].round));
             }
+        }
+        result.weight += pair_weight;
+        if (matches != nullptr) {
+            matches->pairs.push_back(
+                {i, m, pair_weight, path_begin,
+                 static_cast<int>(matches->path_data.size())});
         }
     }
     return result;

@@ -87,6 +87,41 @@ struct FastPathConfig
 };
 
 /**
+ * The pairing behind one MWPM decode, exposed for consumers that must
+ * attribute the correction to individual matched pairs — the
+ * sliding-window stream decoder (decoders/stream_window.hpp) commits
+ * pairs, not whole masks. Flat storage: the correction path of
+ * `pairs[i]` is `path_data[pairs[i].path_begin, pairs[i].path_end)`, a
+ * list of data-qubit toggles whose XOR across all pairs reproduces
+ * `Result::correction` exactly (toggles within one pair are distinct;
+ * across pairs they cancel pairwise, matching the mask's XOR
+ * semantics). Both vectors are pooled: `clear()` keeps capacity, so a
+ * caller-owned instance makes steady-state matched decodes
+ * allocation-free on the match-record side.
+ */
+struct MwpmMatches
+{
+    struct Pair
+    {
+        int a = -1;  ///< event index of the first endpoint
+        int b = -1;  ///< event index of the mate, or -1 for a boundary
+                     ///< retirement
+        int64_t weight = 0;  ///< matched spacetime distance
+        int path_begin = 0;  ///< [path_begin, path_end) into path_data
+        int path_end = 0;
+    };
+
+    std::vector<Pair> pairs;     ///< one entry per event pair / retirement
+    std::vector<int> path_data;  ///< concatenated data-qubit toggles
+
+    void clear()
+    {
+        pairs.clear();
+        path_data.clear();
+    }
+};
+
+/**
  * Minimum Weight Perfect Matching decoder over the spacetime decoding
  * graph (the paper's off-chip "complex" decoder [19]).
  *
@@ -170,11 +205,24 @@ class MwpmDecoder : public Decoder
     decode_batch(const std::vector<std::vector<DetectionEvent>> &batch,
                  int rounds) const override;
 
+    /**
+     * As `decode`, but also report the solved pairing into `matches`
+     * (overwritten; capacity reused): one entry per matched pair or
+     * boundary retirement, each event index appearing in exactly one
+     * entry, with the data-qubit path of that pair's correction. The
+     * Result is bit-identical to `decode` on the same input — the
+     * match record is filled inside the same path-recovery walk the
+     * plain decode runs (see MwpmMatches).
+     */
+    Result decode_matched(const std::vector<DetectionEvent> &events,
+                          int rounds, MwpmMatches &matches) const;
+
   private:
     struct Scratch;
 
     Result decode_impl(const std::vector<DetectionEvent> &events,
-                       int rounds, Scratch &scratch) const;
+                       int rounds, Scratch &scratch,
+                       MwpmMatches *matches = nullptr) const;
 
     int node_id(int check, int round) const { return round * num_checks_ + check; }
 

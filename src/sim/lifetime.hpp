@@ -100,7 +100,7 @@ struct LifetimeStats
      * With the legacy chain everything lands on Mwpm; with a §8.1
      * mid-tier most COMPLEX signatures stay on-chip in UnionFind.
      */
-    uint64_t tier_halves[kNumDecoderTiers] = {0, 0, 0, 0, 0};
+    uint64_t tier_halves[kNumDecoderTiers] = {};
     uint64_t offchip_halves = 0;  ///< escalations that left the chip
 
     /**

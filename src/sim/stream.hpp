@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decoders/stream_window.hpp"
+#include "decoders/tier_chain.hpp"
+#include "surface/lattice.hpp"
+
+namespace btwc {
+
+/**
+ * Configuration of a streaming-decode experiment: one logical qubit's
+ * syndrome stream fed round by round through the sliding-window
+ * decoder (decoders/stream_window.hpp) instead of batch-decoded at the
+ * end — the service-shaped operating mode a real-time decoder runs in.
+ */
+struct StreamConfig
+{
+    int distance = 5;
+    double p = 1e-3;       ///< data-error probability per round
+    double p_meas = -1.0;  ///< measurement-flip probability; <0 -> p
+    int window = 8;        ///< W: rounds per decode window
+    int overlap = 2;       ///< V: rounds re-decoded next window
+    /**
+     * Total noisy measurement rounds, split exactly over
+     * `threads` shards (sim/engine.hpp); each shard runs one
+     * independent stream (its own noise history and decoder), closed
+     * by a final noiseless round and a flush. `threads == 1`
+     * reproduces the single-threaded stream bit-for-bit.
+     */
+    uint64_t rounds = 20000;
+    CheckType error_type = CheckType::X;  ///< which half is simulated
+    /**
+     * The stream's decode chain. Empty = bare sliding-window MWPM.
+     * Otherwise the chain must end with the stream tier, optionally
+     * preceded by union-find screening tiers whose escalation
+     * thresholds gate the whole-window screening fast path (see
+     * StreamWindowConfig::screen); anything else is rejected with a
+     * diagnostic (stream_screen_tiers).
+     */
+    TierChainConfig tiers;
+    int threads = 1;
+    uint64_t seed = 1;
+
+    /** Effective measurement flip probability. */
+    double meas_probability() const { return p_meas < 0.0 ? p : p_meas; }
+};
+
+/** Aggregated statistics of a streaming-decode run. */
+struct StreamStats
+{
+    StreamWindowStats window;  ///< decoder-side counters and ledgers
+    uint64_t streams = 0;      ///< independent streams (one per shard)
+    /**
+     * Streams whose committed correction failed to clear the final
+     * syndrome. Must be zero — the flushed commit set is a perfect
+     * matching of every stream event — and is a *counted runtime
+     * check* (cf. MemoryResult::unclear_syndromes), so Release builds
+     * surface a violation instead of silently skipping the invariant.
+     */
+    uint64_t unclear_syndromes = 0;
+    uint64_t logical_failures = 0;  ///< residual flipped the logical
+
+    /** Fold another shard's statistics in (sim/engine.hpp). */
+    void merge(const StreamStats &other)
+    {
+        window.merge(other.window);
+        streams += other.streams;
+        unclear_syndromes += other.unclear_syndromes;
+        logical_failures += other.logical_failures;
+    }
+};
+
+/**
+ * Extract the screening tiers of a kind=stream chain, validating its
+ * shape: the final tier must be `stream` and every preceding tier
+ * union-find (empty chains mean bare sliding-window MWPM). Throws
+ * CheckFailure with a diagnostic on any other shape — the same rule
+ * ScenarioSpec validation reports as a parse error.
+ */
+std::vector<TierSpec> stream_screen_tiers(const TierChainConfig &tiers);
+
+/**
+ * Run the streaming-decode experiment: per shard, `rounds` noisy
+ * syndrome extraction rounds pushed through a StreamWindowDecoder as
+ * they are measured, a final noiseless round, a flush, and the
+ * committed correction applied to the frame (the memory-experiment
+ * closing template, sim/memory.cpp). Sharded over `config.threads`
+ * workers with independent RNG streams; merged stats are bit-exact
+ * deterministic for a fixed (rounds, threads, seed) triple.
+ */
+StreamStats run_stream(const StreamConfig &config);
+
+} // namespace btwc

@@ -564,6 +564,30 @@ expect_matches_exact_fleet(const Report &report,
               stats.queue_delay.mean());
 }
 
+void
+expect_matches_stream(const Report &report, const StreamConfig &config)
+{
+    const StreamStats stats = run_stream(config);
+    EXPECT_EQ(get_uint(report, "metrics.rounds"), stats.window.rounds);
+    EXPECT_EQ(get_uint(report, "metrics.windows"), stats.window.windows);
+    EXPECT_EQ(get_uint(report, "metrics.screened_windows"),
+              stats.window.screened_windows);
+    EXPECT_EQ(get_uint(report, "metrics.matched_windows"),
+              stats.window.matched_windows);
+    EXPECT_EQ(get_uint(report, "metrics.defects_in"),
+              stats.window.defects_in);
+    EXPECT_EQ(get_uint(report, "metrics.defects_committed"),
+              stats.window.defects_committed);
+    EXPECT_EQ(get_uint(report, "metrics.defects_carried"),
+              stats.window.defects_carried);
+    EXPECT_EQ(get_uint(report, "metrics.unclear_syndromes"),
+              stats.unclear_syndromes);
+    EXPECT_EQ(get_uint(report, "metrics.logical_failures"),
+              stats.logical_failures);
+    EXPECT_EQ(get_double(report, "metrics.commit_lag.mean"),
+              stats.window.commit_lag.mean());
+}
+
 TEST(RunScenario, LifetimeSignatureBitExactWithLegacyConfig)
 {
     const ScenarioSpec spec = ScenarioSpec::parse(
@@ -669,6 +693,9 @@ TEST(Registry, EveryScenarioRunsBitExactWithLegacyPath)
           case ScenarioKind::ExactFleet:
             expect_matches_exact_fleet(report,
                                        spec.to_exact_fleet_config());
+            break;
+          case ScenarioKind::Stream:
+            expect_matches_stream(report, spec.to_stream_config());
             break;
         }
     }
