@@ -237,6 +237,24 @@ FRESH_STREAM="build-release/BENCH_stream.fresh.json"
 }
 
 echo
+echo "== decode fabric gate: btwc_run fabric-quick -> BENCH_fabric.json =="
+# The multi-tenant fabric leg: the pinned fabric-quick scenario (a
+# 2-link priority fabric with a hot tenant quartile and per-request
+# deadlines) runs single-threaded under deep audits — conservation
+# across links, the per-request starvation bound, and the FIFO
+# lockstep cursor are all re-proved every cycle — and its metrics
+# subtree, including the per-link and per-tenant tables under
+# metrics.fabric, must match the committed artifact exactly.
+FRESH_FABRIC="build-release/BENCH_fabric.fresh.json"
+./build-release/btwc_run fabric-quick --threads 1 --repeat 3 --audit deep \
+    --json "${FRESH_FABRIC}" > /dev/null
+./build-release/btwc_diff BENCH_fabric.json "${FRESH_FABRIC}" || {
+    echo "fabric metrics drifted; if intentional:" >&2
+    echo "  cp ${FRESH_FABRIC} BENCH_fabric.json  # and commit" >&2
+    exit 1
+}
+
+echo
 echo "== micro benchmarks: micro_decoders -> BENCH_decoders.json =="
 # Matcher/decoder microbenchmarks join the perf trajectory next to the
 # scenario Report. --benchmark_min_time is pinned so archived numbers

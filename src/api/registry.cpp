@@ -59,6 +59,16 @@ scenario_registry()
         {"fleet-private",
          "exact fleet with per-qubit private synchronous queues",
          "kind=exact-fleet,d=5,p=6e-3,fleet=8,cycles=3000"},
+        {"fabric-quick",
+         "2-link priority fabric with a hot tenant quartile (CI gate)",
+         "kind=fabric,d=3,p=6e-3,policy=mwpm,fleet=6,links=2,"
+         "scheduler=priority,placement=least-loaded,hot_fraction=0.25,"
+         "hot_mult=4,latency=2,bandwidth=1,deadline=6,cycles=2000"},
+        {"fabric-contention",
+         "12 tenants EDF-scheduled on one narrow link under hot-spot load",
+         "kind=fabric,d=5,p=8e-3,policy=mwpm,fleet=12,links=1,"
+         "scheduler=deadline,deadline=8,hot_fraction=0.25,hot_mult=3,"
+         "latency=2,bandwidth=1,cycles=4000"},
         {"stream-quick",
          "sliding-window streaming decode with a UF screening tier",
          "kind=stream,d=5,p=3e-3,window=8,overlap=2,cycles=4000,"

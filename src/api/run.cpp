@@ -176,6 +176,75 @@ exact_fleet_metrics_report(const ExactFleetStats &stats)
 }
 
 Report
+fabric_metrics_report(const FabricStats &stats)
+{
+    // Fleet-level block: shape-for-shape the exact-fleet schema, so a
+    // FIFO/K=1/uniform fabric report is field-by-field comparable with
+    // the legacy exact-fleet report (pinned in tests).
+    Report metrics;
+    add_histogram(metrics, "demand", stats.demand);
+    metrics.set("enqueued", stats.enqueued);
+    metrics.set("served", stats.served);
+    metrics.set("landed", stats.landed);
+    metrics.set("suppressed", stats.suppressed);
+    metrics.set("pending", stats.pending);
+    metrics.set("stall_cycles", stats.stall_cycles);
+    metrics.set("work_cycles", stats.work_cycles);
+    metrics.set("max_backlog", stats.max_backlog);
+    metrics.set("exec_time_increase", stats.exec_time_increase());
+    metrics.set("backlog_mean", stats.backlog.mean());
+    Report &delay = metrics.child("queue_delay");
+    delay.set("mean", stats.queue_delay.mean());
+    delay.set("p99", stats.queue_delay.percentile(0.99));
+    delay.set("max", stats.queue_delay.max_value());
+    metrics.set("batch_mean", stats.batch_sizes.mean());
+    // Fabric block: the SLO observables — deadline misses, the probed
+    // logical error rate, and the per-link / per-tenant breakdowns.
+    // Everything is a scalar leaf so the btwc_diff BENCH gate covers
+    // the whole subtree.
+    Report &fabric = metrics.child("fabric");
+    fabric.set("deadline_misses", stats.deadline_misses);
+    fabric.set("probes", stats.probes);
+    fabric.set("probe_failures", stats.probe_failures);
+    fabric.set("ler", stats.probes == 0
+                          ? 0.0
+                          : static_cast<double>(stats.probe_failures) /
+                                static_cast<double>(stats.probes));
+    Report &links = fabric.child("links");
+    for (size_t k = 0; k < stats.per_link.size(); ++k) {
+        const LinkFabricStats &mine = stats.per_link[k];
+        Report &node = links.child("link" + std::to_string(k));
+        node.set("enqueued", mine.enqueued);
+        node.set("served", mine.served);
+        node.set("landed", mine.landed);
+        node.set("stall_cycles", mine.stall_cycles);
+        node.set("max_backlog", mine.max_backlog);
+        node.set("deadline_misses", mine.deadline_misses);
+        node.set("mean_delay", mine.delay.mean());
+        node.set("p99_delay", mine.delay.percentile(0.99));
+    }
+    Report &tenants = fabric.child("tenants");
+    for (size_t q = 0; q < stats.per_tenant.size(); ++q) {
+        const TenantFabricStats &mine = stats.per_tenant[q];
+        Report &node = tenants.child("t" + std::to_string(q));
+        node.set("link", mine.link);
+        node.set("enqueued", mine.enqueued);
+        node.set("landed", mine.landed);
+        node.set("suppressed", mine.suppressed);
+        node.set("deadline_misses", mine.deadline_misses);
+        node.set("mean_delay", mine.delay.mean());
+        node.set("p99_delay", mine.delay.percentile(0.99));
+        node.set("probes", mine.probes);
+        node.set("failures", mine.failures);
+        node.set("ler", mine.probes == 0
+                            ? 0.0
+                            : static_cast<double>(mine.failures) /
+                                  static_cast<double>(mine.probes));
+    }
+    return metrics;
+}
+
+Report
 stream_metrics_report(const StreamStats &stats)
 {
     Report metrics;
@@ -315,6 +384,38 @@ run_exact_fleet_scenario(const ScenarioSpec &spec)
 }
 
 Report
+run_fabric_scenario(const ScenarioSpec &spec)
+{
+    const FabricFleetConfig config = spec.to_fabric_config();
+    Report report;
+    fill_scenario(report, spec);
+    Report &conf = report.child("config");
+    conf.set("distance", config.fleet.distance);
+    conf.set("p", config.fleet.p);
+    conf.set("fleet_size", config.fleet.num_qubits);
+    conf.set("policy", config.fleet.offchip == OffchipPolicy::Mwpm
+                           ? "mwpm"
+                           : "oracle");
+    conf.set("links", config.topology.links);
+    conf.set("scheduler", scheduler_kind_name(config.topology.scheduler));
+    conf.set("placement", placement_kind_name(config.topology.placement));
+    conf.set("deadline", config.topology.deadline);
+    conf.set("hot_fraction", spec.service.hot_fraction);
+    conf.set("hot_mult", spec.service.hot_mult);
+    conf.set("probe_interval", config.probe_interval);
+    conf.set("cycles", config.fleet.cycles);
+    conf.set("offchip_latency", config.fleet.offchip_latency);
+    conf.set("offchip_bandwidth", config.fleet.offchip_bandwidth);
+    conf.set("offchip_batch", config.fleet.offchip_batch);
+    fill_engine(conf, config.fleet.threads, config.fleet.seed);
+    const HarnessTimer timer;
+    const FabricStats stats = run_fabric(config);
+    report.child("metrics") = fabric_metrics_report(stats);
+    timer.fill(report, "cycles_per_sec", config.fleet.cycles);
+    return report;
+}
+
+Report
 run_stream_scenario(const ScenarioSpec &spec)
 {
     const StreamConfig config = spec.to_stream_config();
@@ -369,6 +470,8 @@ run_scenario(const ScenarioSpec &spec)
         return run_exact_fleet_scenario(spec);
       case ScenarioKind::Stream:
         return run_stream_scenario(spec);
+      case ScenarioKind::Fabric:
+        return run_fabric_scenario(spec);
     }
     return Report();
 }

@@ -46,5 +46,6 @@ Report memory_metrics_report(const MemoryResult &result);
 Report fleet_run_report(const FleetRunResult &run, uint64_t total_cycles);
 Report exact_fleet_metrics_report(const ExactFleetStats &stats);
 Report stream_metrics_report(const StreamStats &stats);
+Report fabric_metrics_report(const FabricStats &stats);
 
 } // namespace btwc

@@ -24,6 +24,8 @@ scenario_kind_name(ScenarioKind kind)
         return "exact-fleet";
       case ScenarioKind::Stream:
         return "stream";
+      case ScenarioKind::Fabric:
+        return "fabric";
     }
     return "?";
 }
@@ -104,10 +106,13 @@ struct SpecBuilder
             spec.kind = ScenarioKind::ExactFleet;
         } else if (v == "stream") {
             spec.kind = ScenarioKind::Stream;
+        } else if (v == "fabric") {
+            spec.kind = ScenarioKind::Fabric;
         } else {
             set_error(error, "unknown scenario kind '" + v +
                                  "'; expected lifetime | memory | "
-                                 "fleet | exact-fleet | stream");
+                                 "fleet | exact-fleet | stream | "
+                                 "fabric");
             return false;
         }
         return true;
@@ -354,6 +359,8 @@ const struct FlagKeyMapping
     {"qubits", "qubits"},       {"q", "q"},
     {"hot_fraction", "hot_fraction"}, {"hot-fraction", "hot_fraction"},
     {"hot_mult", "hot_mult"},   {"hot-mult", "hot_mult"},
+    {"links", "links"},         {"scheduler", "scheduler"},
+    {"placement", "placement"}, {"deadline", "deadline"},
     {"window", "window"},       {"overlap", "overlap"},
     {"cycles", "cycles"},       {"trials", "trials"},
     {"failures", "failures"},   {"threads", "threads"},
@@ -464,6 +471,32 @@ apply_key(SpecBuilder &builder, const std::string &key,
         return builder.non_negative_double(
             "hot_mult", value, &spec.service.hot_mult, error);
     }
+    if (key == "links") {
+        return builder.positive_int("links", value, &spec.service.links,
+                                    error);
+    }
+    if (key == "scheduler") {
+        if (!parse_scheduler_kind(value, &spec.service.scheduler)) {
+            set_error(error, "bad scheduler '" + value +
+                                 "'; expected fifo | priority | "
+                                 "deadline | wfq");
+            return false;
+        }
+        return true;
+    }
+    if (key == "placement") {
+        if (!parse_placement_kind(value, &spec.service.placement)) {
+            set_error(error, "bad placement '" + value +
+                                 "'; expected hash | least-loaded | "
+                                 "isolate");
+            return false;
+        }
+        return true;
+    }
+    if (key == "deadline") {
+        return builder.u64("deadline", value, &spec.service.deadline,
+                           error);
+    }
     if (key == "window") {
         return builder.positive_int("window", value, &spec.stream.window,
                                     error);
@@ -519,6 +552,19 @@ apply_key(SpecBuilder &builder, const std::string &key,
 bool
 validate_spec(const ScenarioSpec &spec, std::string *error)
 {
+    if (spec.kind != ScenarioKind::Fabric) {
+        const ScenarioSpec defaults;
+        if (spec.service.links != defaults.service.links ||
+            spec.service.scheduler != defaults.service.scheduler ||
+            spec.service.placement != defaults.service.placement ||
+            spec.service.deadline != defaults.service.deadline) {
+            set_error(error,
+                      "links= / scheduler= / placement= / deadline= "
+                      "are only valid in kind=fabric scenarios (the "
+                      "decode fabric); add the bare token 'fabric'");
+            return false;
+        }
+    }
     if (spec.stream.overlap >= spec.stream.window) {
         set_error(error,
                   "bad stream window geometry: overlap (" +
@@ -625,7 +671,8 @@ ScenarioSpec::try_parse(const std::string &spec, ScenarioSpec *out,
             builder.tiers_value += token;
         } else if (token == "lifetime" || token == "memory" ||
                    token == "fleet" || token == "exact-fleet" ||
-                   token == "exact_fleet" || token == "stream") {
+                   token == "exact_fleet" || token == "stream" ||
+                   token == "fabric") {
             tiers_accumulating = false;
             if (!builder.kind(token, error)) {
                 return false;
@@ -646,7 +693,8 @@ ScenarioSpec::try_parse(const std::string &spec, ScenarioSpec *out,
                       "unknown scenario token '" + token + "' in '" +
                           spec +
                           "'; expected key=value, a kind (lifetime | "
-                          "memory | fleet | exact-fleet | stream), "
+                          "memory | fleet | exact-fleet | stream | "
+                          "fabric), "
                           "pipeline | signature | shared | weighted, "
                           "or a tier continuation after tiers=");
             return false;
@@ -743,6 +791,18 @@ ScenarioSpec::to_string() const
     }
     if (service.shared_link != defaults.service.shared_link) {
         emit("shared", service.shared_link ? "true" : "false");
+    }
+    if (service.scheduler != defaults.service.scheduler) {
+        emit("scheduler", scheduler_kind_name(service.scheduler));
+    }
+    if (service.links != defaults.service.links) {
+        emit("links", std::to_string(service.links));
+    }
+    if (service.placement != defaults.service.placement) {
+        emit("placement", placement_kind_name(service.placement));
+    }
+    if (service.deadline != defaults.service.deadline) {
+        emit("deadline", std::to_string(service.deadline));
     }
     if (service.fleet_size != defaults.service.fleet_size) {
         emit("fleet", std::to_string(service.fleet_size));
@@ -952,6 +1012,28 @@ ScenarioSpec::to_exact_fleet_config() const
     config.offchip_latency = service.latency;
     config.offchip_bandwidth = service.bandwidth;
     config.offchip_batch = service.batch;
+    // Hot-spot heterogeneity becomes real per-tenant decode work
+    // (so hot tenants genuinely contend): the first hot_fraction
+    // of the fleet runs at hot_mult * p, like the binomial model's
+    // hotspot_probs profile but on the physical error rate.
+    if (service.hot_fraction > 0.0) {
+        config.tenant_probs =
+            hotspot_probs(service.fleet_size, code.p,
+                          service.hot_fraction, service.hot_mult);
+    }
+    return config;
+}
+
+FabricFleetConfig
+ScenarioSpec::to_fabric_config() const
+{
+    FabricFleetConfig config;
+    config.fleet = to_exact_fleet_config();
+    config.fleet.shared_link = true;  // implied by the fabric
+    config.topology.links = service.links;
+    config.topology.scheduler = service.scheduler;
+    config.topology.placement = service.placement;
+    config.topology.deadline = service.deadline;
     return config;
 }
 

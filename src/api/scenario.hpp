@@ -7,6 +7,7 @@
 #include "common/flags.hpp"
 #include "core/system.hpp"
 #include "decoders/tier_chain.hpp"
+#include "fabric/harness.hpp"
 #include "sim/fleet.hpp"
 #include "sim/lifetime.hpp"
 #include "sim/memory.hpp"
@@ -27,6 +28,10 @@ namespace btwc {
  *   Stream     run_stream                — sliding-window streaming
  *                                          decode of one syndrome
  *                                          stream
+ *   Fabric     run_fabric                — exact fleet against a
+ *                                          K-link decode fabric with
+ *                                          pluggable schedulers and
+ *                                          per-tenant SLO probes
  */
 enum class ScenarioKind : uint8_t
 {
@@ -35,6 +40,7 @@ enum class ScenarioKind : uint8_t
     Fleet = 2,
     ExactFleet = 3,
     Stream = 4,
+    Fabric = 5,
 };
 
 /** Canonical name of a kind ("lifetime" | "memory" | ...). */
@@ -63,8 +69,14 @@ struct ServiceSpec
     int fleet_size = 10;       ///< ExactFleet: fully simulated tenants
     int num_qubits = 1000;     ///< Fleet: binomial machine size
     double offchip_prob = 0.01;  ///< Fleet: per-qubit per-cycle q
-    double hot_fraction = 0.0;   ///< Fleet: hot-spot fraction (q profile)
-    double hot_mult = 1.0;       ///< Fleet: hot-spot multiplier on q
+    double hot_fraction = 0.0;   ///< Fleet/ExactFleet/Fabric: hot fraction
+    double hot_mult = 1.0;       ///< hot-spot multiplier (on q resp. p)
+    // Fabric kind only (grammar keys `links=` / `scheduler=` /
+    // `placement=` / `deadline=`; non-defaults rejected elsewhere):
+    int links = 1;  ///< off-chip links in the decode fabric
+    SchedulerKind scheduler = SchedulerKind::Fifo;
+    PlacementKind placement = PlacementKind::StaticHash;
+    uint64_t deadline = 0;  ///< per-request deadline budget in cycles
 };
 
 /**
@@ -107,7 +119,8 @@ struct EngineSpec
  *     d=21,p=1e-3,tiers=clique,uf:3,mwpm,latency=2,bandwidth=1,fleet=50
  *
  * Tokens are `key=value` pairs; a bare token is a scenario kind
- * (`lifetime` | `memory` | `fleet` | `exact-fleet` | `stream`), a
+ * (`lifetime` | `memory` | `fleet` | `exact-fleet` | `stream` |
+ * `fabric`), a
  * mode / boolean shortcut (`pipeline`, `signature`, `shared`,
  * `weighted`), or — immediately after a `tiers=` assignment — a
  * continuation of the tier list (`uf:3`, `mwpm`, ... as in
@@ -160,9 +173,9 @@ struct ScenarioSpec
      * --error_type --tiers --uf_threshold --mode --pipeline
      * --real_offchip --policy --arm --weighted --offchip-latency
      * --offchip-bandwidth --batch --shared-link --fleet-size --qubits
-     * --q --hot-fraction --hot-mult --bandwidth --cycles --trials
-     * --failures --threads --seed. Returns false with a diagnostic on
-     * a malformed value.
+     * --q --hot-fraction --hot-mult --bandwidth --links --scheduler
+     * --placement --deadline --cycles --trials --failures --threads
+     * --seed. Returns false with a diagnostic on a malformed value.
      */
     bool apply_flags(const Flags &flags, std::string *error);
 
@@ -178,6 +191,12 @@ struct ScenarioSpec
      * `stream` tier (parse-time diagnostic otherwise).
      */
     StreamConfig to_stream_config() const;
+    /**
+     * Fabric-kind adapter: the exact-fleet operating point (including
+     * the hot-spot per-tenant noise profile) plus the fabric topology
+     * keys. `shared_link` is implied by the fabric.
+     */
+    FabricFleetConfig to_fabric_config() const;
 
     /** Specs are equal iff their canonical strings are. */
     bool operator==(const ScenarioSpec &other) const

@@ -1,5 +1,6 @@
 #include "core/offchip_service.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
@@ -10,13 +11,107 @@ namespace btwc {
 SharedOffchipService::SharedOffchipService(const RotatedSurfaceCode &code,
                                            const TierChainConfig &tiers,
                                            OffchipQueueConfig link)
-    : queue_(link)
+    : queue_(link), tiers_(tiers), base_distance_(code.distance())
 {
     const CheckType error_types[2] = {CheckType::X, CheckType::Z};
     chains_.reserve(2);
     for (const CheckType err : error_types) {
         chains_.emplace_back(code, detector_of_error(err), tiers);
     }
+}
+
+void
+SharedOffchipService::set_scheduler(
+    std::unique_ptr<FabricScheduler> scheduler)
+{
+    BTWC_CHECK_MSG(scheduler != nullptr,
+                   "set_scheduler installs a discipline; the legacy "
+                   "path is the no-scheduler default");
+    BTWC_CHECK_MSG(next_seq_ == 0,
+                   "the serve discipline is fixed before the first "
+                   "enqueue (a mid-run swap would tear the audit "
+                   "trail)");
+    scheduler_ = std::move(scheduler);
+}
+
+void
+SharedOffchipService::set_tenant_lane(int owner, TenantLane lane)
+{
+    BTWC_CHECK_MSG(owner >= 0, "lanes are keyed by tenant index");
+    BTWC_CHECK_MSG(lane.weight >= 1,
+                   "weighted-fair shares must be positive");
+    if (static_cast<size_t>(owner) >= lanes_.size()) {
+        lanes_.resize(static_cast<size_t>(owner) + 1);
+    }
+    lanes_[static_cast<size_t>(owner)] = lane;
+}
+
+TenantLane
+SharedOffchipService::lane_of(int owner) const
+{
+    if (owner >= 0 && static_cast<size_t>(owner) < lanes_.size()) {
+        return lanes_[static_cast<size_t>(owner)];
+    }
+    return TenantLane{};
+}
+
+LaneExtremes
+SharedOffchipService::lane_extremes() const
+{
+    LaneExtremes out;
+    for (int owner = 0; owner < owners_seen_; ++owner) {
+        const TenantLane lane = lane_of(owner);
+        if (owner == 0) {
+            out.min_priority = out.max_priority = lane.priority;
+            out.min_weight = out.max_weight = lane.weight;
+            out.min_deadline = out.max_deadline = lane.deadline;
+            continue;
+        }
+        out.min_priority = std::min(out.min_priority, lane.priority);
+        out.max_priority = std::max(out.max_priority, lane.priority);
+        out.min_weight = std::min(out.min_weight, lane.weight);
+        out.max_weight = std::max(out.max_weight, lane.weight);
+        out.min_deadline = std::min(out.min_deadline, lane.deadline);
+        out.max_deadline = std::max(out.max_deadline, lane.deadline);
+    }
+    return out;
+}
+
+void
+SharedOffchipService::register_code(const RotatedSurfaceCode &code)
+{
+    if (code.distance() == base_distance_) {
+        return;
+    }
+    for (const ExtraChains &extra : extra_chains_) {
+        if (extra.distance == code.distance()) {
+            return;
+        }
+    }
+    ExtraChains entry;
+    entry.distance = code.distance();
+    entry.chains.reserve(2);
+    const CheckType error_types[2] = {CheckType::X, CheckType::Z};
+    for (const CheckType err : error_types) {
+        entry.chains.emplace_back(code, detector_of_error(err), tiers_);
+    }
+    extra_chains_.push_back(std::move(entry));
+}
+
+std::vector<TierChain> &
+SharedOffchipService::chains_for(int distance)
+{
+    if (distance == 0 || distance == base_distance_) {
+        return chains_;
+    }
+    for (ExtraChains &extra : extra_chains_) {
+        if (extra.distance == distance) {
+            return extra.chains;
+        }
+    }
+    BTWC_CHECK_MSG(false, "request distances are registered via "
+                          "register_code before they are served");
+    return chains_;
 }
 
 void
@@ -29,8 +124,8 @@ SharedOffchipService::enqueue(Request request)
         // The reconciliation contract (core/system.hpp): a half never
         // escalates while its previous request is outstanding. The
         // per-(owner, half) scan is bounded by pending() <= 2 * owners.
-        for (size_t i = 0; i < waiting_.size(); ++i) {
-            const Request &other = waiting_.at(i);
+        for (size_t i = 0; i < waiting_count(); ++i) {
+            const Request &other = waiting_at(i);
             BTWC_CHECK_MSG(other.owner != request.owner ||
                                other.half != request.half,
                            "one outstanding off-chip request per "
@@ -48,8 +143,128 @@ SharedOffchipService::enqueue(Request request)
     if (request.owner + 1 > owners_seen_) {
         owners_seen_ = request.owner + 1;
     }
-    waiting_.push_back(std::move(request));
+    if (scheduler_) {
+        // Arrival stamps: the queue enqueues this cycle's fresh batch
+        // at its current cycle counter, which equals total_cycles()
+        // here because the counter only advances at the end of step().
+        request.arrival_cycle = queue_.total_cycles();
+        const uint64_t budget = lane_of(request.owner).deadline;
+        request.deadline_cycle =
+            budget > 0 ? request.arrival_cycle + budget : 0;
+        ++tenant_slot(request.owner).enqueued;
+        sched_waiting_.push_back(std::move(request));
+    } else {
+        waiting_.push_back(std::move(request));
+    }
     ++fresh_;
+}
+
+std::vector<SharedOffchipService::Request>
+SharedOffchipService::take_served(uint64_t count)
+{
+    std::vector<Request> served;
+    served.reserve(count);
+    if (!scheduler_) {
+        for (uint64_t i = 0; i < count; ++i) {
+            served.push_back(waiting_.pop_front());
+        }
+        return served;
+    }
+    // Scheduled mode: the discipline picks which waiting request
+    // enters service, one slot at a time; the serve *count* came from
+    // the queue and is discipline-invariant (work conservation). The
+    // serve happens in the cycle the queue just finished counting.
+    const uint64_t serve_cycle = queue_.total_cycles() - 1;
+    std::vector<SchedView> views;
+    for (uint64_t slot = 0; slot < count; ++slot) {
+        views.clear();
+        views.reserve(sched_waiting_.size());
+        for (const Request &request : sched_waiting_) {
+            const TenantLane lane = lane_of(request.owner);
+            views.push_back(SchedView{request.owner, request.seq,
+                                      request.arrival_cycle,
+                                      request.deadline_cycle,
+                                      lane.priority, lane.weight});
+        }
+        const size_t pick = scheduler_->pick(views, serve_cycle);
+        BTWC_CHECK_MSG(pick < sched_waiting_.size(),
+                       "scheduler picks index a waiting request");
+        if (scheduler_->kind() == SchedulerKind::Fifo) {
+            // Lockstep with the legacy path: strict FIFO must serve
+            // the arrival sequence with no gaps or reordering.
+            if (audit_deep()) {
+                BTWC_CHECK_MSG(sched_waiting_[pick].seq ==
+                                   fifo_next_seq_,
+                               "FIFO discipline serves the exact "
+                               "arrival sequence (legacy lockstep)");
+            }
+            fifo_next_seq_ = sched_waiting_[pick].seq + 1;
+        }
+        served.push_back(std::move(sched_waiting_[pick]));
+        sched_waiting_.erase(sched_waiting_.begin() +
+                             static_cast<long>(pick));
+    }
+    return served;
+}
+
+void
+SharedOffchipService::serve_decode(std::vector<Request> served)
+{
+    std::vector<std::vector<uint8_t>> corrections(served.size());
+    std::vector<size_t> members;
+    std::vector<uint8_t> grouped(served.size(), 0);
+    for (size_t first = 0; first < served.size(); ++first) {
+        if (grouped[first]) {
+            continue;
+        }
+        if (served[first].oracle) {
+            corrections[first] = std::move(served[first].payload);
+            continue;
+        }
+        members.clear();
+        for (size_t i = first; i < served.size(); ++i) {
+            if (!grouped[i] && !served[i].oracle &&
+                served[i].half == served[first].half &&
+                served[i].tier_index == served[first].tier_index &&
+                served[i].distance == served[first].distance) {
+                members.push_back(i);
+                grouped[i] = 1;
+            }
+        }
+        std::vector<std::vector<DetectionEvent>> batch;
+        batch.reserve(members.size());
+        for (const size_t i : members) {
+            batch.push_back(events_from_syndrome(served[i].payload));
+        }
+        std::vector<TierChain::Result> results =
+            chains_for(served[first].distance)
+                [static_cast<size_t>(served[first].half)]
+                    .decode_batch_from(
+                        static_cast<size_t>(served[first].tier_index),
+                        batch, 1);
+        for (size_t i = 0; i < members.size(); ++i) {
+            corrections[members[i]] =
+                std::move(results[i].decode.correction);
+        }
+    }
+    for (size_t i = 0; i < served.size(); ++i) {
+        if (scheduler_) {
+            inflight_meta_.push_back(
+                LandMeta{served[i].owner, served[i].arrival_cycle,
+                         served[i].deadline_cycle});
+        }
+        inflight_.push_back(Delivery{served[i].owner, served[i].half,
+                                     std::move(corrections[i])});
+    }
+}
+
+SharedOffchipService::TenantLinkStats &
+SharedOffchipService::tenant_slot(int owner)
+{
+    if (static_cast<size_t>(owner) >= tenant_stats_.size()) {
+        tenant_stats_.resize(static_cast<size_t>(owner) + 1);
+    }
+    return tenant_stats_[static_cast<size_t>(owner)];
 }
 
 const std::vector<SharedOffchipService::Delivery> &
@@ -59,64 +274,44 @@ SharedOffchipService::step()
     fresh_ = 0;
 
     // Serve: pop the requests entering service this cycle (FIFO across
-    // owners) and decode them. Non-oracle requests are grouped per
-    // (half, resume tier) and decoded through one decode_batch_from
-    // call each -- the fleet-scale amortization the shared link
-    // exists to expose: a group mixes requests from every qubit that
-    // escalated recently, not just the at-most-one a private queue
-    // could batch. Corrections enter the in-flight FIFO in the
-    // original serve order, matching the queue's landing order.
+    // owners, or per the installed discipline) and decode them.
+    // Non-oracle requests are grouped per (distance, half, resume
+    // tier) and decoded through one decode_batch_from call each -- the
+    // fleet-scale amortization the shared link exists to expose: a
+    // group mixes requests from every qubit that escalated recently,
+    // not just the at-most-one a private queue could batch.
+    // Corrections enter the in-flight FIFO in the original serve
+    // order, matching the queue's landing order.
     if (sr.served > 0) {
-        std::vector<Request> served;
-        served.reserve(sr.served);
-        for (uint64_t i = 0; i < sr.served; ++i) {
-            served.push_back(waiting_.pop_front());
-        }
-        std::vector<std::vector<uint8_t>> corrections(served.size());
-        std::vector<size_t> members;
-        std::vector<uint8_t> grouped(served.size(), 0);
-        for (size_t first = 0; first < served.size(); ++first) {
-            if (grouped[first]) {
-                continue;
-            }
-            if (served[first].oracle) {
-                corrections[first] = std::move(served[first].payload);
-                continue;
-            }
-            members.clear();
-            for (size_t i = first; i < served.size(); ++i) {
-                if (!grouped[i] && !served[i].oracle &&
-                    served[i].half == served[first].half &&
-                    served[i].tier_index == served[first].tier_index) {
-                    members.push_back(i);
-                    grouped[i] = 1;
-                }
-            }
-            std::vector<std::vector<DetectionEvent>> batch;
-            batch.reserve(members.size());
-            for (const size_t i : members) {
-                batch.push_back(events_from_syndrome(served[i].payload));
-            }
-            std::vector<TierChain::Result> results =
-                chains_[static_cast<size_t>(served[first].half)]
-                    .decode_batch_from(
-                        static_cast<size_t>(served[first].tier_index),
-                        batch, 1);
-            for (size_t i = 0; i < members.size(); ++i) {
-                corrections[members[i]] =
-                    std::move(results[i].decode.correction);
-            }
-        }
-        for (size_t i = 0; i < served.size(); ++i) {
-            inflight_.push_back(Delivery{served[i].owner, served[i].half,
-                                         std::move(corrections[i])});
-        }
+        serve_decode(take_served(sr.served));
     }
 
-    // Land: hand back every correction whose latency elapsed.
+    // Land: hand back every correction whose latency elapsed. In
+    // scheduled mode, this is also where delays and deadline misses
+    // are accounted (mirroring the queue's land-time delay recording,
+    // but per request and per tenant, since the queue's FIFO delay
+    // groups stop matching individual requests once a discipline
+    // re-orders service).
     landed_now_.clear();
     for (uint64_t i = 0; i < sr.landed; ++i) {
         landed_now_.push_back(inflight_.pop_front());
+        if (scheduler_) {
+            const LandMeta meta = inflight_meta_.pop_front();
+            const uint64_t land_cycle = queue_.total_cycles() - 1;
+            uint64_t delay = land_cycle - meta.arrival_cycle;
+            if (delay > OffchipQueue::kMaxRecordedDelay) {
+                delay = OffchipQueue::kMaxRecordedDelay;
+            }
+            delay_.add(delay);
+            TenantLinkStats &tenant = tenant_slot(meta.owner);
+            ++tenant.landed;
+            tenant.delay.add(delay);
+            if (meta.deadline_cycle > 0 &&
+                land_cycle > meta.deadline_cycle) {
+                ++deadline_misses_;
+                ++tenant.deadline_misses;
+            }
+        }
     }
     if (audit_deep()) {
         audit();
@@ -128,23 +323,29 @@ void
 SharedOffchipService::audit() const
 {
     queue_.audit();
-    BTWC_CHECK_MSG(waiting_.size() == queue_.backlog() + fresh_,
-                   "payload waiting FIFO tracks the counting queue's "
-                   "backlog plus the not-yet-stepped fresh demand");
+    BTWC_CHECK_MSG(waiting_count() == queue_.backlog() + fresh_,
+                   "payload waiting entries track the counting "
+                   "queue's backlog plus the not-yet-stepped fresh "
+                   "demand");
     BTWC_CHECK_MSG(inflight_.size() == queue_.in_flight(),
                    "payload in-flight FIFO tracks the counting queue");
+    if (scheduler_) {
+        BTWC_CHECK_MSG(inflight_meta_.size() == inflight_.size(),
+                       "landing metadata rides in lockstep with the "
+                       "in-flight payloads");
+    }
 
-    for (size_t i = 0; i < waiting_.size(); ++i) {
-        const Request &request = waiting_.at(i);
+    for (size_t i = 0; i < waiting_count(); ++i) {
+        const Request &request = waiting_at(i);
         if (i > 0) {
-            BTWC_CHECK_MSG(request.seq > waiting_.at(i - 1).seq,
+            BTWC_CHECK_MSG(request.seq > waiting_at(i - 1).seq,
                            "waiting requests stay in arrival order "
-                           "(strict FIFO across owners)");
+                           "(picks remove entries, never re-order)");
         }
         // <= 1 outstanding per (owner, half): no duplicate later in
-        // the waiting FIFO, and nothing in flight for the same half.
-        for (size_t j = i + 1; j < waiting_.size(); ++j) {
-            const Request &other = waiting_.at(j);
+        // the waiting set, and nothing in flight for the same half.
+        for (size_t j = i + 1; j < waiting_count(); ++j) {
+            const Request &other = waiting_at(j);
             BTWC_CHECK_MSG(other.owner != request.owner ||
                                other.half != request.half,
                            "at most one waiting request per "
@@ -156,6 +357,22 @@ SharedOffchipService::audit() const
                                other.half != request.half,
                            "a half with an in-flight correction never "
                            "waits on a second request");
+        }
+    }
+    if (scheduler_ && owners_seen_ > 0) {
+        // No starvation beyond the discipline's aging bound: every
+        // waiting request's age stays under the sound (loose) bound
+        // the scheduler declares for this link's tenant population.
+        const uint64_t bound = scheduler_->starvation_bound(
+            owners_seen_, queue_.config().bandwidth, lane_extremes());
+        const uint64_t now = queue_.total_cycles();
+        for (const Request &request : sched_waiting_) {
+            const uint64_t age = now >= request.arrival_cycle
+                                     ? now - request.arrival_cycle
+                                     : 0;
+            BTWC_CHECK_MSG(age <= bound,
+                           "no waiting request starves beyond the "
+                           "discipline's declared aging bound");
         }
     }
     for (size_t i = 0; i < inflight_.size(); ++i) {

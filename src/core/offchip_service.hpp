@@ -1,11 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/fifo.hpp"
+#include "common/stats.hpp"
 #include "core/offchip_queue.hpp"
 #include "decoders/tier_chain.hpp"
+#include "fabric/scheduler.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
@@ -29,18 +32,27 @@ namespace btwc {
  * one decoder invocation per lattice half.
  *
  * The service owns one `TierChain` per lattice half (indexed by error
- * type, like `BtwcSystem`'s frames): every tenant of one machine runs
- * the same code and chain configuration, and the chain's decoders are
- * deterministic pure functions of the events, so decoding a request
- * on the service-side chain is bit-identical to decoding it on the
- * owner's private chain. Oracle-policy requests carry their
- * correction in the payload and bypass the chains entirely.
+ * type, like `BtwcSystem`'s frames) for the code it was constructed
+ * with; a heterogeneous fleet registers its other code distances via
+ * `register_code`, and requests are batched per (distance, half,
+ * resume tier) so every request decodes on chains matching its
+ * owner's lattice. The chains' decoders are deterministic pure
+ * functions of the events, so decoding a request on the service-side
+ * chain is bit-identical to decoding it on the owner's private chain.
+ * Oracle-policy requests carry their correction in the payload and
+ * bypass the chains entirely.
  *
- * Scheduling is strict FIFO across owners. Combined with the
- * one-outstanding-request-per-half contract (no tenant can occupy
+ * Scheduling is strict FIFO across owners by default. Combined with
+ * the one-outstanding-request-per-half contract (no tenant can occupy
  * more than two link slots), this is round-robin fair: a narrow link
  * serves qubits in their escalation order and no tenant can starve
- * another (tested).
+ * another (tested). `set_scheduler` swaps in one of the decode
+ * fabric's disciplines (src/fabric/scheduler.hpp) -- the scheduler
+ * re-orders *which* waiting requests enter service each cycle but
+ * never *how many*, so the link's stall/backlog/served accounting is
+ * discipline-invariant and only the per-request delay distribution
+ * (tracked service-side, per tenant) moves. A `FifoScheduler` is
+ * bit-exact with the legacy path and audited in lockstep with it.
  *
  * With zero latency and unlimited bandwidth the shared service is
  * bit-exact with the private-queue path: corrections land within the
@@ -65,11 +77,25 @@ class SharedOffchipService
         bool oracle = false;
         std::vector<uint8_t> payload;
         /**
+         * Code distance of the owner's lattice, selecting the decode
+         * chains (0 = the constructor code). Distances other than the
+         * constructor code's must be registered via `register_code`
+         * before the request is served.
+         */
+        int distance = 0;
+        /**
          * Link-wide FIFO sequence number, assigned by `enqueue` (any
          * caller-provided value is overwritten). The audit tier uses
          * it to prove served order == arrival order across owners.
          */
         uint64_t seq = 0;
+        /** Link cycle of the enqueue, stamped by `enqueue`. */
+        uint64_t arrival_cycle = 0;
+        /**
+         * Arrival plus the owner lane's deadline budget, stamped by
+         * `enqueue`; 0 = the lane has no deadline.
+         */
+        uint64_t deadline_cycle = 0;
     };
 
     /** A correction routed back to its owning tenant half. */
@@ -80,14 +106,73 @@ class SharedOffchipService
         std::vector<uint8_t> correction;  ///< per-data-qubit flip mask
     };
 
+    /**
+     * Scheduled-mode per-tenant link accounting (indexed by owner in
+     * `tenant_stats`). Empty until a scheduler is installed: the
+     * legacy strict-FIFO path keeps its original, tenant-blind
+     * accounting untouched.
+     */
+    struct TenantLinkStats
+    {
+        uint64_t enqueued = 0;
+        uint64_t landed = 0;
+        /** Landings past the lane deadline (deadline lanes only). */
+        uint64_t deadline_misses = 0;
+        /** Enqueue-to-landing delay, saturated like the queue's. */
+        CountHistogram delay;
+
+        void merge(const TenantLinkStats &other)
+        {
+            enqueued += other.enqueued;
+            landed += other.landed;
+            deadline_misses += other.deadline_misses;
+            delay.merge(other.delay);
+        }
+    };
+
     SharedOffchipService(const RotatedSurfaceCode &code,
                          const TierChainConfig &tiers,
                          OffchipQueueConfig link);
 
     /**
+     * Install a serve-selection discipline (decode fabric mode). Must
+     * be called before the first `enqueue`; the discipline then owns
+     * the serve order for the whole run (a mid-run swap would tear the
+     * audit trail). Installing `FifoScheduler` keeps the serve order
+     * bit-exact with the legacy path while enabling the scheduled-mode
+     * per-tenant accounting (pinned in tests/test_fabric.cpp).
+     */
+    void set_scheduler(std::unique_ptr<FabricScheduler> scheduler);
+
+    /** Installed discipline, or nullptr on the legacy FIFO path. */
+    const FabricScheduler *scheduler() const { return scheduler_.get(); }
+
+    /**
+     * Register tenant `owner`'s scheduling lane. Priorities and
+     * weights are read at every pick; the deadline budget stamps
+     * requests at enqueue, so it applies to subsequent escalations.
+     * Unregistered tenants run at the `TenantLane` defaults.
+     */
+    void set_tenant_lane(int owner, TenantLane lane);
+
+    /** Lane of `owner` (the default lane when never registered). */
+    TenantLane lane_of(int owner) const;
+
+    /** Lane extremes across every tenant seen (audit bound input). */
+    LaneExtremes lane_extremes() const;
+
+    /**
+     * Build decode chains for an additional code distance so a
+     * heterogeneous fleet's requests decode on matching lattices.
+     * Idempotent; the constructor code is implicitly registered.
+     */
+    void register_code(const RotatedSurfaceCode &code);
+
+    /**
      * Add one escalation to the current cycle's fresh demand. Tenants
      * call this from inside their `step()`; the request waits for
-     * link capacity behind every earlier request from any tenant.
+     * link capacity behind every earlier request from any tenant
+     * (or per the installed scheduler's discipline).
      */
     void enqueue(Request request);
 
@@ -96,7 +181,7 @@ class SharedOffchipService
      * accumulated since the previous step, serve up to `bandwidth`
      * waiting requests (decoding non-oracle ones batched per half
      * across owners), and return every correction whose latency
-     * elapsed, in FIFO order. The caller routes each Delivery to
+     * elapsed, in serve order. The caller routes each Delivery to
      * `BtwcSystem::deliver_offchip_correction` on the owning tenant.
      * The returned reference is valid until the next `step()`.
      */
@@ -106,27 +191,89 @@ class SharedOffchipService
     const OffchipQueue &queue() const { return queue_; }
 
     /** Requests enqueued or in flight whose correction has not landed. */
-    size_t pending() const { return waiting_.size() + inflight_.size(); }
+    size_t pending() const { return waiting_count() + inflight_.size(); }
+
+    /**
+     * Scheduled-mode enqueue-to-landing delays, recorded service-side
+     * because the counting queue's FIFO delay groups no longer match
+     * individual requests once a discipline re-orders service. Under
+     * `FifoScheduler` this is bin-for-bin equal to
+     * `queue().delay_histogram()` (pinned in tests). Empty on the
+     * legacy path.
+     */
+    const CountHistogram &delay_histogram() const { return delay_; }
+
+    /** Scheduled-mode landings past their lane deadline. */
+    uint64_t deadline_misses() const { return deadline_misses_; }
+
+    /** Scheduled-mode per-tenant accounting, indexed by owner. */
+    const std::vector<TenantLinkStats> &tenant_stats() const
+    {
+        return tenant_stats_;
+    }
 
     /**
      * Verify the shared-link contracts in place: the underlying
      * `OffchipQueue` audit, payload FIFOs in lockstep with the
      * counting FIFOs (waiting == backlog + fresh, in-flight counts
      * match), strictly increasing sequence numbers along the waiting
-     * FIFO (FIFO across owners), at most one outstanding request per
+     * entries (arrival order), at most one outstanding request per
      * (owner, half) across waiting + in-flight, and the resulting
-     * `pending() <= 2 * owners` backlog bound. Runs automatically
-     * after every `step()` at AuditLevel::Deep (enqueue additionally
-     * rejects double-enqueues at AuditLevel::Basic); throws
-     * CheckFailure.
+     * `pending() <= 2 * owners` backlog bound. With a scheduler
+     * installed, additionally: the landing metadata FIFO tracks the
+     * in-flight FIFO, and no waiting request has aged past the
+     * discipline's `starvation_bound` (no starvation beyond the aging
+     * bound). Runs automatically after every `step()` at
+     * AuditLevel::Deep (enqueue additionally rejects double-enqueues
+     * at AuditLevel::Basic); throws CheckFailure.
      */
     void audit() const;
 
   private:
     friend struct OffchipServiceTestPeer;  ///< test-only corruption hook
 
+    /** Per-served-request landing metadata (scheduled mode only). */
+    struct LandMeta
+    {
+        int owner = 0;
+        uint64_t arrival_cycle = 0;
+        uint64_t deadline_cycle = 0;
+    };
+
+    /** Decode chains of one registered extra code distance. */
+    struct ExtraChains
+    {
+        int distance = 0;
+        std::vector<TierChain> chains;  ///< per half, like chains_
+    };
+
+    /** Waiting entries regardless of mode (legacy FIFO or scheduled). */
+    size_t waiting_count() const
+    {
+        return scheduler_ ? sched_waiting_.size() : waiting_.size();
+    }
+
+    const Request &waiting_at(size_t i) const
+    {
+        return scheduler_ ? sched_waiting_[i] : waiting_.at(i);
+    }
+
+    /** Chains serving `distance` (0 = the constructor code). */
+    std::vector<TierChain> &chains_for(int distance);
+
+    /** Pop the requests entering service this cycle, in serve order. */
+    std::vector<Request> take_served(uint64_t count);
+
+    /** Decode `served` (batched per distance/half/tier) into flight. */
+    void serve_decode(std::vector<Request> served);
+
+    TenantLinkStats &tenant_slot(int owner);
+
     OffchipQueue queue_;
     std::vector<TierChain> chains_;  ///< per half, indexed by error type
+    TierChainConfig tiers_;          ///< for register_code
+    int base_distance_ = 0;          ///< constructor code's distance
+    std::vector<ExtraChains> extra_chains_;
     uint64_t fresh_ = 0;             ///< enqueued since the last step()
     uint64_t next_seq_ = 0;          ///< arrival stamp for Request::seq
     int owners_seen_ = 0;            ///< 1 + largest owner ever enqueued
@@ -135,6 +282,17 @@ class SharedOffchipService
     HeadFifo<Request> waiting_;
     HeadFifo<Delivery> inflight_;
     std::vector<Delivery> landed_now_;
+    // Scheduled mode (scheduler_ != nullptr): the waiting set lives in
+    // a plain vector (arrival order) so picks can remove from the
+    // middle, and landing metadata rides a FIFO parallel to inflight_.
+    std::unique_ptr<FabricScheduler> scheduler_;
+    std::vector<Request> sched_waiting_;
+    HeadFifo<LandMeta> inflight_meta_;
+    std::vector<TenantLane> lanes_;  ///< indexed by owner
+    CountHistogram delay_;
+    uint64_t deadline_misses_ = 0;
+    uint64_t fifo_next_seq_ = 0;     ///< FIFO-lockstep audit cursor
+    std::vector<TenantLinkStats> tenant_stats_;
 };
 
 } // namespace btwc

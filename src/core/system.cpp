@@ -135,6 +135,7 @@ BtwcSystem::step()
                 request.owner = owner_;
                 request.half = t;
                 request.tier_index = outcome.tier_index;
+                request.distance = code_.distance();
                 request.oracle = config_.offchip == OffchipPolicy::Oracle;
                 if (request.oracle) {
                     request.payload = frame.error();

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/fleet.hpp"
+
+namespace btwc {
+
+/**
+ * Configuration of a fabric fleet run: an exact trace-driven fleet
+ * (sim/fleet.hpp, including its per-tenant `(distance, p)` overrides)
+ * whose escalations route through a decode `Fabric` instead of the
+ * single shared link. `fleet.shared_link` is implied; the fleet's link
+ * parameters (`offchip_latency` / `offchip_bandwidth` /
+ * `offchip_batch`) apply to *each* of the fabric's links.
+ */
+struct FabricFleetConfig
+{
+    ExactFleetConfig fleet;
+    FabricTopology topology;
+    /**
+     * Probe every tenant's logical failure state each `probe_interval`
+     * cycles (0 = never): a memory-experiment-style MWPM closure on a
+     * *copy* of each frame (fabric/probe.hpp), so probing never
+     * perturbs the run. Per-tenant failures / probes is the logical
+     * error rate the SLO curves report next to the delay percentiles.
+     */
+    uint64_t probe_interval = 32;
+};
+
+/** Per-tenant observables of a fabric run (index = tenant). */
+struct TenantFabricStats
+{
+    int link = 0;  ///< placed link (identical across shards)
+    uint64_t enqueued = 0;    ///< escalations handed to the fabric
+    uint64_t landed = 0;      ///< corrections routed back
+    uint64_t suppressed = 0;  ///< reconciliation-contract deferrals
+    uint64_t deadline_misses = 0;
+    uint64_t probes = 0;    ///< logical-failure probe closures taken
+    uint64_t failures = 0;  ///< probes where either half had flipped
+    /** Enqueue-to-landing delay of this tenant's corrections. */
+    CountHistogram delay;
+
+    void merge(const TenantFabricStats &other);
+};
+
+/** Per-link observables of a fabric run (index = link). */
+struct LinkFabricStats
+{
+    uint64_t enqueued = 0;
+    uint64_t served = 0;
+    uint64_t landed = 0;
+    uint64_t stall_cycles = 0;
+    uint64_t work_cycles = 0;
+    uint64_t max_backlog = 0;
+    uint64_t deadline_misses = 0;
+    /** Service-side per-request delay of this link. */
+    CountHistogram delay;
+
+    void merge(const LinkFabricStats &other);
+};
+
+/**
+ * Aggregated observables of a fabric run. Counters are sums and
+ * histograms bin-wise counts, so shard results `merge()` losslessly in
+ * the sharded Monte-Carlo engine (deterministic for a fixed (cycles,
+ * threads, seed) triple). The fleet-level fields mirror
+ * `ExactFleetStats` shape-for-shape; with a FIFO scheduler, one link,
+ * and a uniform fleet they are bit-exact with
+ * `fleet_demand_exact_stats` on the equivalent `ExactFleetConfig`
+ * (pinned in tests/test_fabric.cpp).
+ */
+struct FabricStats
+{
+    /** Per-cycle fresh demand (see ExactFleetStats::demand). */
+    CountHistogram demand;
+    /** Enqueue-to-landing delays, merged across links (service-side:
+        per request even when a discipline re-orders service). */
+    CountHistogram queue_delay;
+    /** Served link-batch sizes, merged across links. */
+    CountHistogram batch_sizes;
+    /** End-of-cycle backlog summed across links, one sample/cycle. */
+    CountHistogram backlog;
+    uint64_t stall_cycles = 0;  ///< summed across links
+    uint64_t work_cycles = 0;   ///< summed across links
+    uint64_t max_backlog = 0;   ///< max single-link backlog observed
+    uint64_t enqueued = 0;
+    uint64_t served = 0;
+    uint64_t landed = 0;
+    uint64_t suppressed = 0;
+    uint64_t pending = 0;  ///< outstanding when the run ended
+    uint64_t deadline_misses = 0;
+    uint64_t probes = 0;
+    uint64_t probe_failures = 0;
+    std::vector<LinkFabricStats> per_link;
+    std::vector<TenantFabricStats> per_tenant;
+
+    void merge(const FabricStats &other);
+
+    /** Fig. 16 x-axis across the fabric (stalls / work cycles). */
+    double exec_time_increase() const;
+};
+
+/**
+ * Run the fabric fleet: `fleet.num_qubits` full `BtwcSystem`
+ * pipelines stepped in lockstep against a K-link decode fabric, with
+ * periodic logical-failure probes. Shards the cycle budget over
+ * `fleet.threads` workers, each simulating an independent fleet
+ * instance; tenant construction order and RNG seeding mirror
+ * `fleet_demand_exact_stats` exactly, which is what makes the
+ * FIFO/K=1/uniform corner bit-exact with the legacy shared link.
+ */
+FabricStats run_fabric(const FabricFleetConfig &config);
+
+} // namespace btwc

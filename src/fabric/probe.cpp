@@ -1,0 +1,35 @@
+#include "fabric/probe.hpp"
+
+#include "common/check.hpp"
+
+namespace btwc {
+
+LogicalFailureProbe::LogicalFailureProbe(const RotatedSurfaceCode &code)
+{
+    const CheckType error_types[2] = {CheckType::X, CheckType::Z};
+    decoders_.reserve(2);
+    for (const CheckType err : error_types) {
+        decoders_.push_back(
+            std::make_unique<MwpmDecoder>(code, detector_of_error(err)));
+    }
+}
+
+bool
+LogicalFailureProbe::logical_parity(const ErrorFrame &frame)
+{
+    frame.measure_perfect(syndrome_);
+    if (frame.syndrome_clear()) {
+        return frame.logical_flipped();
+    }
+    MwpmDecoder &decoder =
+        *decoders_[static_cast<size_t>(frame.error_type())];
+    const Decoder::Result result = decoder.decode_syndrome(syndrome_);
+    ErrorFrame residual = frame;
+    residual.apply_mask(result.correction);
+    BTWC_CHECK_MSG(residual.syndrome_clear(),
+                   "an MWPM correction clears the probed syndrome "
+                   "(every defect is matched)");
+    return residual.logical_flipped();
+}
+
+} // namespace btwc

@@ -205,10 +205,73 @@ ExactFleetStats::exec_time_increase() const
     return stall_execution_time_increase(stall_cycles, work_cycles);
 }
 
+double
+tenant_prob(const ExactFleetConfig &config, int q)
+{
+    if (config.tenant_probs.empty()) {
+        return config.p;
+    }
+    return config.tenant_probs[static_cast<size_t>(q)];
+}
+
+int
+tenant_distance(const ExactFleetConfig &config, int q)
+{
+    if (config.tenant_distances.empty()) {
+        return config.distance;
+    }
+    return config.tenant_distances[static_cast<size_t>(q)];
+}
+
+void
+validate_tenant_profile(const ExactFleetConfig &config)
+{
+    // Same rationale as DemandModel's qubit_probs check: a silently
+    // mismatched profile would model the wrong fleet; refuse loudly.
+    if (!config.tenant_probs.empty() &&
+        config.tenant_probs.size() !=
+            static_cast<size_t>(config.num_qubits)) {
+        throw std::invalid_argument(
+            "ExactFleetConfig::tenant_probs size (" +
+            std::to_string(config.tenant_probs.size()) +
+            ") != num_qubits (" + std::to_string(config.num_qubits) +
+            ")");
+    }
+    for (const double q : config.tenant_probs) {
+        if (!(q >= 0.0 && q <= 1.0)) {
+            throw std::invalid_argument(
+                "ExactFleetConfig::tenant_probs entries must be "
+                "probabilities");
+        }
+    }
+    if (!config.tenant_distances.empty() &&
+        config.tenant_distances.size() !=
+            static_cast<size_t>(config.num_qubits)) {
+        throw std::invalid_argument(
+            "ExactFleetConfig::tenant_distances size (" +
+            std::to_string(config.tenant_distances.size()) +
+            ") != num_qubits (" + std::to_string(config.num_qubits) +
+            ")");
+    }
+}
+
 ExactFleetStats
 fleet_demand_exact_stats(const ExactFleetConfig &config)
 {
+    validate_tenant_profile(config);
+    // Codes are immutable and shared across shards: the base code plus
+    // one per distinct per-tenant distance override.
     const RotatedSurfaceCode code(config.distance);
+    std::map<int, RotatedSurfaceCode> extra_codes;
+    for (const int d : config.tenant_distances) {
+        if (d != config.distance) {
+            extra_codes.try_emplace(d, d);
+        }
+    }
+    const auto code_of = [&](int q) -> const RotatedSurfaceCode & {
+        const int d = tenant_distance(config, q);
+        return d == config.distance ? code : extra_codes.at(d);
+    };
     return run_sharded<ExactFleetStats>(
         config.cycles, config.threads, config.seed,
         [&](const Shard &shard) {
@@ -227,8 +290,10 @@ fleet_demand_exact_stats(const ExactFleetConfig &config)
             std::vector<BtwcSystem> qubits;
             qubits.reserve(static_cast<size_t>(config.num_qubits));
             for (int q = 0; q < config.num_qubits; ++q) {
-                qubits.emplace_back(code, NoiseParams::uniform(config.p),
-                                    sconfig, seeder.next_u64());
+                qubits.emplace_back(
+                    code_of(q),
+                    NoiseParams::uniform(tenant_prob(config, q)),
+                    sconfig, seeder.next_u64());
             }
             std::optional<SharedOffchipService> service;
             if (config.shared_link) {
@@ -237,6 +302,9 @@ fleet_demand_exact_stats(const ExactFleetConfig &config)
                     OffchipQueueConfig{config.offchip_bandwidth,
                                        config.offchip_latency,
                                        config.offchip_batch});
+                for (const auto &[d, extra] : extra_codes) {
+                    service->register_code(extra);
+                }
                 for (size_t q = 0; q < qubits.size(); ++q) {
                     qubits[q].attach_shared_service(&*service,
                                                     static_cast<int>(q));

@@ -133,7 +133,39 @@ struct ExactFleetConfig
     uint64_t offchip_latency = 0;
     uint64_t offchip_bandwidth = 0;
     uint64_t offchip_batch = 0;
+    /**
+     * Per-qubit physical error rate overrides: tenant q runs at
+     * `tenant_probs[q]` instead of the uniform `p`, so hot tenants do
+     * real extra decode work rather than just extra demand draws
+     * (contrast `FleetConfig::qubit_probs`, which only reshapes the
+     * binomial model). Empty = the homogeneous fleet, bit-exact with
+     * the historical path; non-empty size must equal `num_qubits`
+     * (mismatch throws std::invalid_argument) and every entry must be
+     * a probability. Build hot-spot profiles with `hotspot_probs`.
+     */
+    std::vector<double> tenant_probs;
+    /**
+     * Per-qubit code distance overrides (same contract as
+     * `tenant_probs`; entries must be valid `RotatedSurfaceCode`
+     * distances). Under the shared link, each distinct distance gets
+     * its own service-side decode chains via
+     * `SharedOffchipService::register_code`.
+     */
+    std::vector<int> tenant_distances;
 };
+
+/** Tenant q's physical error rate (`tenant_probs` override or `p`). */
+double tenant_prob(const ExactFleetConfig &config, int q);
+
+/** Tenant q's code distance (`tenant_distances` override or `distance`). */
+int tenant_distance(const ExactFleetConfig &config, int q);
+
+/**
+ * Throw std::invalid_argument when the per-tenant override vectors are
+ * malformed (size != num_qubits, probabilities outside [0, 1]).
+ * Called by the exact-fleet entry points before any simulation work.
+ */
+void validate_tenant_profile(const ExactFleetConfig &config);
 
 /** Per-tenant counters of an exact fleet run (index = qubit). */
 struct QubitServiceStats

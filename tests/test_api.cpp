@@ -21,6 +21,7 @@
 #include "api/report.hpp"
 #include "api/run.hpp"
 #include "api/scenario.hpp"
+#include "fabric/harness.hpp"
 #include "sim/fleet.hpp"
 #include "sim/lifetime.hpp"
 #include "sim/memory.hpp"
@@ -61,6 +62,9 @@ TEST(ScenarioSpec, ToStringRoundTripsEveryField)
         "bandwidth=12,cycles=100000",
         "kind=exact-fleet,d=5,p=6e-3,shared,fleet=12,latency=2,"
         "bandwidth=1,batch=4,cycles=3000",
+        "kind=fabric,d=5,p=8e-3,policy=mwpm,latency=2,bandwidth=1,"
+        "scheduler=deadline,links=2,placement=isolate,deadline=8,"
+        "fleet=12,hot_fraction=0.25,hot_mult=3,cycles=4000",
         "pipeline,shared,weighted",
         "tiers=clique,exact",
         "tiers=uf:-1,mwpm",
@@ -126,6 +130,14 @@ TEST(ScenarioSpec, RejectsMalformedSpecs)
         "fleet=0",
         "weighted=maybe",
         "mwpm",            // tier token outside a tiers= run
+        "kind=fabric,links=0",
+        "kind=fabric,scheduler=bogus",
+        "kind=fabric,placement=everywhere",
+        // Fabric topology keys are rejected off the fabric kind.
+        "kind=exact-fleet,links=2",
+        "scheduler=priority",
+        "kind=stream,placement=isolate",
+        "kind=memory,deadline=6",
     };
     for (const std::string &text : bad) {
         SCOPED_TRACE(text);
@@ -464,6 +476,54 @@ TEST(ReportSchema, FleetAndExactFleetCarryRequiredKeys)
     }
 }
 
+TEST(ReportSchema, FabricKeysAreStable)
+{
+    const Report report = run_scenario(ScenarioSpec::parse(
+        "kind=fabric,d=3,fleet=2,latency=2,bandwidth=1,cycles=64"));
+    std::vector<std::string> expected = {
+        "scenario.kind", "scenario.spec", "scenario.tiers",
+        "config.distance", "config.p", "config.fleet_size",
+        "config.policy", "config.links", "config.scheduler",
+        "config.placement", "config.deadline", "config.hot_fraction",
+        "config.hot_mult", "config.probe_interval", "config.cycles",
+        "config.offchip_latency", "config.offchip_bandwidth",
+        "config.offchip_batch", "config.threads", "config.seed",
+        "metrics.demand.total", "metrics.demand.mean",
+        "metrics.demand.p50", "metrics.demand.p90",
+        "metrics.demand.p99", "metrics.demand.p999",
+        "metrics.demand.max",
+        "metrics.enqueued", "metrics.served", "metrics.landed",
+        "metrics.suppressed", "metrics.pending",
+        "metrics.stall_cycles", "metrics.work_cycles",
+        "metrics.max_backlog", "metrics.exec_time_increase",
+        "metrics.backlog_mean",
+        "metrics.queue_delay.mean", "metrics.queue_delay.p99",
+        "metrics.queue_delay.max", "metrics.batch_mean",
+        "metrics.fabric.deadline_misses", "metrics.fabric.probes",
+        "metrics.fabric.probe_failures", "metrics.fabric.ler",
+        "metrics.fabric.links.link0.enqueued",
+        "metrics.fabric.links.link0.served",
+        "metrics.fabric.links.link0.landed",
+        "metrics.fabric.links.link0.stall_cycles",
+        "metrics.fabric.links.link0.max_backlog",
+        "metrics.fabric.links.link0.deadline_misses",
+        "metrics.fabric.links.link0.mean_delay",
+        "metrics.fabric.links.link0.p99_delay",
+    };
+    for (const char *tenant : {"t0", "t1"}) {
+        for (const char *leaf :
+             {"link", "enqueued", "landed", "suppressed",
+              "deadline_misses", "mean_delay", "p99_delay", "probes",
+              "failures", "ler"}) {
+            expected.push_back(std::string("metrics.fabric.tenants.") +
+                               tenant + "." + leaf);
+        }
+    }
+    expected.push_back("walltime.walltime_ms");
+    expected.push_back("walltime.cycles_per_sec");
+    EXPECT_EQ(flat_keys(report), expected);
+}
+
 // ------------------------------------- bit-exactness with legacy path
 
 uint64_t
@@ -588,6 +648,26 @@ expect_matches_stream(const Report &report, const StreamConfig &config)
               stats.window.commit_lag.mean());
 }
 
+void
+expect_matches_fabric(const Report &report,
+                      const FabricFleetConfig &config)
+{
+    const FabricStats stats = run_fabric(config);
+    EXPECT_EQ(get_uint(report, "metrics.enqueued"), stats.enqueued);
+    EXPECT_EQ(get_uint(report, "metrics.served"), stats.served);
+    EXPECT_EQ(get_uint(report, "metrics.landed"), stats.landed);
+    EXPECT_EQ(get_uint(report, "metrics.suppressed"), stats.suppressed);
+    EXPECT_EQ(get_uint(report, "metrics.stall_cycles"),
+              stats.stall_cycles);
+    EXPECT_EQ(get_uint(report, "metrics.fabric.deadline_misses"),
+              stats.deadline_misses);
+    EXPECT_EQ(get_uint(report, "metrics.fabric.probes"), stats.probes);
+    EXPECT_EQ(get_uint(report, "metrics.fabric.probe_failures"),
+              stats.probe_failures);
+    EXPECT_EQ(get_double(report, "metrics.queue_delay.mean"),
+              stats.queue_delay.mean());
+}
+
 TEST(RunScenario, LifetimeSignatureBitExactWithLegacyConfig)
 {
     const ScenarioSpec spec = ScenarioSpec::parse(
@@ -636,6 +716,44 @@ TEST(RunScenario, ExactFleetSharedAndPrivateBitExact)
         expect_matches_exact_fleet(run_scenario(spec),
                                    spec.to_exact_fleet_config());
     }
+}
+
+TEST(RunScenario, FabricFifoUniformBitExactWithLegacySharedLink)
+{
+    // The pinned corner of the fabric subsystem: FIFO scheduling, one
+    // link, a uniform noise profile is byte-for-byte the legacy
+    // shared-link exact fleet across every counter both schemas carry.
+    const Report report = run_scenario(ScenarioSpec::parse(
+        "kind=fabric,d=3,p=6e-3,policy=mwpm,fleet=3,latency=2,"
+        "bandwidth=1,cycles=400,seed=4"));
+    const ScenarioSpec legacy = ScenarioSpec::parse(
+        "kind=exact-fleet,d=3,p=6e-3,policy=mwpm,shared,fleet=3,"
+        "latency=2,bandwidth=1,cycles=400,seed=4");
+    const ExactFleetStats stats =
+        fleet_demand_exact_stats(legacy.to_exact_fleet_config());
+    EXPECT_EQ(get_uint(report, "metrics.enqueued"), stats.enqueued);
+    EXPECT_EQ(get_uint(report, "metrics.served"), stats.served);
+    EXPECT_EQ(get_uint(report, "metrics.landed"), stats.landed);
+    EXPECT_EQ(get_uint(report, "metrics.suppressed"), stats.suppressed);
+    EXPECT_EQ(get_uint(report, "metrics.pending"), stats.pending);
+    EXPECT_EQ(get_uint(report, "metrics.stall_cycles"),
+              stats.stall_cycles);
+    EXPECT_EQ(get_uint(report, "metrics.work_cycles"),
+              stats.work_cycles);
+    EXPECT_EQ(get_uint(report, "metrics.max_backlog"),
+              stats.max_backlog);
+    EXPECT_EQ(get_uint(report, "metrics.demand.total"),
+              stats.demand.total());
+    EXPECT_EQ(get_double(report, "metrics.demand.mean"),
+              stats.demand.mean());
+    EXPECT_EQ(get_double(report, "metrics.queue_delay.mean"),
+              stats.queue_delay.mean());
+    EXPECT_EQ(get_double(report, "metrics.queue_delay.p99"),
+              stats.queue_delay.percentile(0.99));
+    EXPECT_EQ(get_uint(report, "metrics.queue_delay.max"),
+              stats.queue_delay.max_value());
+    EXPECT_EQ(get_double(report, "metrics.batch_mean"),
+              stats.batch_sizes.mean());
 }
 
 // ------------------------------------------------------------ registry
@@ -696,6 +814,9 @@ TEST(Registry, EveryScenarioRunsBitExactWithLegacyPath)
             break;
           case ScenarioKind::Stream:
             expect_matches_stream(report, spec.to_stream_config());
+            break;
+          case ScenarioKind::Fabric:
+            expect_matches_fabric(report, spec.to_fabric_config());
             break;
         }
     }

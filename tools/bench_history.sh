@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Walk the git history of the committed BENCH_*.json perf artifacts
+# and print each file's per-commit trend: the walltime_ms sidecar and
+# every *_per_sec throughput key the Report carries (cycles/sec,
+# decodes/sec, rounds/sec — whichever the scenario kind reports).
+# Artifacts without a walltime subtree (e.g. the google-benchmark
+# BENCH_decoders.json) print "-" columns but still show when they
+# changed.
+#
+#   tools/bench_history.sh                      # every tracked BENCH_*.json
+#   tools/bench_history.sh BENCH_fabric.json    # one artifact
+#   tools/bench_history.sh -n 10                # last 10 commits per file
+#
+# Pure git + grep: no jq/python dependency, so it runs on the same
+# minimal toolchain as tools/lint.sh.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX=0
+FILES=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      -n)
+        MAX="${2:?-n needs a count}"
+        shift 2
+        ;;
+      -*)
+        echo "usage: tools/bench_history.sh [-n MAX] [BENCH_file.json ...]" >&2
+        exit 1
+        ;;
+      *)
+        FILES+=("$1")
+        shift
+        ;;
+    esac
+done
+if [[ ${#FILES[@]} -eq 0 ]]; then
+    while IFS= read -r tracked; do
+        FILES+=("${tracked}")
+    done < <(git ls-files 'BENCH_*.json')
+fi
+if [[ ${#FILES[@]} -eq 0 ]]; then
+    echo "no tracked BENCH_*.json artifacts" >&2
+    exit 1
+fi
+
+extract() {
+    # extract <blob> <key>: first numeric value of a JSON key; empty
+    # (not an error) when the artifact has no such key.
+    printf '%s' "$1" | grep -oE "\"$2\": *-?[0-9.eE+-]+" | head -1 |
+        sed -E 's/.*: *//' || true
+}
+
+for file in "${FILES[@]}"; do
+    echo "== ${file} =="
+    COMMITS="$(git log --format=%H --reverse -- "${file}")"
+    if [[ -z "${COMMITS}" ]]; then
+        echo "   (no committed history)"
+        continue
+    fi
+    if [[ "${MAX}" -gt 0 ]]; then
+        COMMITS="$(printf '%s\n' "${COMMITS}" | tail -n "${MAX}")"
+    fi
+    printf '%-10s %-12s %12s  %s\n' commit date walltime_ms throughput
+    for commit in ${COMMITS}; do
+        BLOB="$(git show "${commit}:${file}" 2> /dev/null)" || continue
+        WALL="$(extract "${BLOB}" walltime_ms)"
+        RATES="$(printf '%s' "${BLOB}" |
+            grep -oE '"[a-z_]+_per_sec": *[0-9.eE+-]+' |
+            sed -E 's/"([a-z_]+)": */\1=/' | paste -sd' ' - || true)"
+        printf '%-10s %-12s %12s  %s\n' \
+            "$(git rev-parse --short "${commit}")" \
+            "$(git show -s --format=%cs "${commit}")" \
+            "${WALL:--}" "${RATES:--}"
+    done
+    echo
+done
