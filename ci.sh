@@ -255,6 +255,64 @@ FRESH_FABRIC="build-release/BENCH_fabric.fresh.json"
 }
 
 echo
+echo "== chaos fabric gate: btwc_run fabric-chaos -> BENCH_chaos.json =="
+# The fault-injection leg: the pinned fabric-chaos scenario (a 2-link
+# EDF fabric under a flapping link, delivery loss/duplication/
+# corruption, and a beyond-bandwidth tenant surge, with the full
+# degradation stack — timeout+retry, UF fallback, shedding, failover)
+# runs single-threaded under deep audits. The fault draws are a pure
+# hash stream keyed by (fseed, link, index), so the chaos run is as
+# deterministic as the fault-free ones and its metrics subtree —
+# including the metrics.faults ledger — diffs bit-exactly against the
+# committed artifact.
+FRESH_CHAOS="build-release/BENCH_chaos.fresh.json"
+./build-release/btwc_run fabric-chaos --threads 1 --repeat 3 --audit deep \
+    --json "${FRESH_CHAOS}" > /dev/null
+./build-release/btwc_diff BENCH_chaos.json "${FRESH_CHAOS}" || {
+    echo "chaos metrics drifted; if intentional:" >&2
+    echo "  cp ${FRESH_CHAOS} BENCH_chaos.json  # and commit" >&2
+    exit 1
+}
+
+echo
+echo "== chaos soak: 10k-cycle flapping link under deep audits =="
+# Long-horizon graceful-degradation soak (unpinned: it asserts bounds,
+# not exact numbers — the pinning lives in the gate above). Every
+# cycle re-proves the queue conservation, the fault ledger, and the
+# cross-link audit; afterwards the run must have reached steady state:
+# a bounded worst-case backlog and no leaked requests.
+SOAK_SPEC="kind=fabric,d=3,p=6e-3,policy=mwpm,fleet=4,links=2"
+SOAK_SPEC+=",scheduler=deadline,deadline=8,latency=2,bandwidth=1"
+SOAK_SPEC+=",timeout=10,retries=1,shed=true,migrate=32"
+SOAK_SPEC+=",faults=outage:500:60;drop:0.05;dup:0.05;corrupt:0.05;surge:250:40:2"
+SOAK_SPEC+=",cycles=10000"
+./build-release/btwc_run "${SOAK_SPEC}" --threads 1 --audit deep \
+    --json build-release/BENCH_chaos_soak.json > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+    python3 - build-release/BENCH_chaos_soak.json <<'EOF'
+import json
+import sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+m = data["metrics"]
+assert m["max_backlog"] < 500, f"soak backlog unbounded: {m['max_backlog']}"
+assert m["pending"] <= 16, f"soak leaked requests: pending={m['pending']}"
+f = m["faults"]
+assert f["outage_cycles"] > 0 and f["surge_enqueued"] > 0, f
+print("chaos soak OK "
+      f"(max_backlog={m['max_backlog']}, pending={m['pending']}, "
+      f"shed={f['shed']}, degraded={f['degraded']}, "
+      f"migrations={f['migrations']})")
+EOF
+else
+    grep -Fq '"faults"' build-release/BENCH_chaos_soak.json || {
+        echo "chaos soak report missing metrics.faults" >&2
+        exit 1
+    }
+    echo "chaos soak OK (grep fallback)"
+fi
+
+echo
 echo "== micro benchmarks: micro_decoders -> BENCH_decoders.json =="
 # Matcher/decoder microbenchmarks join the perf trajectory next to the
 # scenario Report. --benchmark_min_time is pinned so archived numbers

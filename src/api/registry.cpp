@@ -64,6 +64,15 @@ scenario_registry()
          "kind=fabric,d=3,p=6e-3,policy=mwpm,fleet=6,links=2,"
          "scheduler=priority,placement=least-loaded,hot_fraction=0.25,"
          "hot_mult=4,latency=2,bandwidth=1,deadline=6,cycles=2000"},
+        {"fabric-chaos",
+         "chaos fabric: flapping link, drops, surges, full degradation "
+         "stack (CI gate)",
+         "kind=fabric,d=3,p=6e-3,policy=mwpm,fleet=6,links=2,"
+         "scheduler=deadline,placement=least-loaded,hot_fraction=0.25,"
+         "hot_mult=4,latency=2,bandwidth=1,deadline=8,timeout=12,"
+         "retries=2,shed=true,migrate=32,"
+         "faults=outage:500:60:0;spike:150:24:6;drop:0.04;dup:0.03;"
+         "corrupt:0.04;surge:300:60:2:1,cycles=2000"},
         {"fabric-contention",
          "12 tenants EDF-scheduled on one narrow link under hot-spot load",
          "kind=fabric,d=5,p=8e-3,policy=mwpm,fleet=12,links=1,"

@@ -153,7 +153,7 @@ fleet_run_report(const FleetRunResult &run, uint64_t total_cycles)
 }
 
 Report
-exact_fleet_metrics_report(const ExactFleetStats &stats)
+exact_fleet_metrics_report(const ExactFleetStats &stats, bool with_faults)
 {
     Report metrics;
     add_histogram(metrics, "demand", stats.demand);
@@ -172,11 +172,20 @@ exact_fleet_metrics_report(const ExactFleetStats &stats)
     delay.set("p99", stats.queue_delay.percentile(0.99));
     delay.set("max", stats.queue_delay.max_value());
     metrics.set("batch_mean", stats.batch_sizes.mean());
+    if (with_faults) {
+        Report &faults = metrics.child("faults");
+        faults.set("outage_cycles", stats.outage_cycles);
+        faults.set("dropped", stats.dropped);
+        faults.set("duplicated", stats.duplicated);
+        faults.set("corrupted", stats.corrupted);
+        faults.set("surge_enqueued", stats.surge_enqueued);
+        faults.set("surge_landed", stats.surge_landed);
+    }
     return metrics;
 }
 
 Report
-fabric_metrics_report(const FabricStats &stats)
+fabric_metrics_report(const FabricStats &stats, bool with_faults)
 {
     // Fleet-level block: shape-for-shape the exact-fleet schema, so a
     // FIFO/K=1/uniform fabric report is field-by-field comparable with
@@ -222,6 +231,17 @@ fabric_metrics_report(const FabricStats &stats)
         node.set("deadline_misses", mine.deadline_misses);
         node.set("mean_delay", mine.delay.mean());
         node.set("p99_delay", mine.delay.percentile(0.99));
+        if (with_faults) {
+            node.set("outage_cycles", mine.outage_cycles);
+            node.set("dropped", mine.dropped);
+            node.set("duplicated", mine.duplicated);
+            node.set("corrupted", mine.corrupted);
+            node.set("shed", mine.shed);
+            node.set("canceled", mine.canceled);
+            node.set("stale_discards", mine.stale_discards);
+            node.set("surge_enqueued", mine.surge_enqueued);
+            node.set("surge_landed", mine.surge_landed);
+        }
     }
     Report &tenants = fabric.child("tenants");
     for (size_t q = 0; q < stats.per_tenant.size(); ++q) {
@@ -240,6 +260,33 @@ fabric_metrics_report(const FabricStats &stats)
                             ? 0.0
                             : static_cast<double>(mine.failures) /
                                   static_cast<double>(mine.probes));
+        if (with_faults) {
+            node.set("retried", mine.retried);
+            node.set("degraded", mine.degraded);
+            node.set("dropped", mine.dropped);
+            node.set("shed", mine.shed);
+            node.set("canceled", mine.canceled);
+        }
+    }
+    if (with_faults) {
+        // Chaos-mode aggregate: every injected fault and every
+        // degradation response, one scalar each, so the BENCH_chaos
+        // btwc_diff gate pins the full injection/response ledger.
+        Report &faults = metrics.child("faults");
+        faults.set("outage_cycles", stats.faults.outage_cycles);
+        faults.set("dropped", stats.faults.dropped);
+        faults.set("duplicated", stats.faults.duplicated);
+        faults.set("corrupted", stats.faults.corrupted);
+        faults.set("shed", stats.faults.shed);
+        faults.set("canceled", stats.faults.canceled);
+        faults.set("stale_discards", stats.faults.stale_discards);
+        faults.set("surge_enqueued", stats.faults.surge_enqueued);
+        faults.set("surge_landed", stats.faults.surge_landed);
+        faults.set("retried", stats.faults.retried);
+        faults.set("degraded", stats.faults.degraded);
+        faults.set("nacks", stats.faults.nacks);
+        faults.set("duplicate_drops", stats.faults.duplicate_drops);
+        faults.set("migrations", stats.faults.migrations);
     }
     return metrics;
 }
@@ -375,10 +422,14 @@ run_exact_fleet_scenario(const ScenarioSpec &spec)
     conf.set("offchip_latency", config.offchip_latency);
     conf.set("offchip_bandwidth", config.offchip_bandwidth);
     conf.set("offchip_batch", config.offchip_batch);
+    if (config.faults.enabled) {
+        conf.set("faults", config.faults.to_string());
+    }
     fill_engine(conf, config.threads, config.seed);
     const HarnessTimer timer;
     const ExactFleetStats stats = fleet_demand_exact_stats(config);
-    report.child("metrics") = exact_fleet_metrics_report(stats);
+    report.child("metrics") =
+        exact_fleet_metrics_report(stats, config.faults.enabled);
     timer.fill(report, "cycles_per_sec", config.cycles);
     return report;
 }
@@ -407,10 +458,23 @@ run_fabric_scenario(const ScenarioSpec &spec)
     conf.set("offchip_latency", config.fleet.offchip_latency);
     conf.set("offchip_bandwidth", config.fleet.offchip_bandwidth);
     conf.set("offchip_batch", config.fleet.offchip_batch);
+    // Chaos keys appear only when configured: a fault-free fabric
+    // report (and the BENCH baselines diffed against it) stays
+    // byte-identical with the pre-chaos schema.
+    const bool chaos = config.faults.enabled || config.timeout > 0 ||
+                       config.retries > 0 || config.shed ||
+                       config.topology.migrate_threshold > 0;
+    if (chaos) {
+        conf.set("faults", config.faults.to_string());
+        conf.set("timeout", config.timeout);
+        conf.set("retries", config.retries);
+        conf.set("shed", config.shed);
+        conf.set("migrate", config.topology.migrate_threshold);
+    }
     fill_engine(conf, config.fleet.threads, config.fleet.seed);
     const HarnessTimer timer;
     const FabricStats stats = run_fabric(config);
-    report.child("metrics") = fabric_metrics_report(stats);
+    report.child("metrics") = fabric_metrics_report(stats, chaos);
     timer.fill(report, "cycles_per_sec", config.fleet.cycles);
     return report;
 }

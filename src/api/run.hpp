@@ -44,8 +44,18 @@ Report run_scenario_repeated(const ScenarioSpec &spec, int repeat);
 Report lifetime_metrics_report(const LifetimeStats &stats);
 Report memory_metrics_report(const MemoryResult &result);
 Report fleet_run_report(const FleetRunResult &run, uint64_t total_cycles);
-Report exact_fleet_metrics_report(const ExactFleetStats &stats);
+/** `with_faults` as in `fabric_metrics_report`, for the shared link. */
+Report exact_fleet_metrics_report(const ExactFleetStats &stats,
+                                  bool with_faults = false);
 Report stream_metrics_report(const StreamStats &stats);
-Report fabric_metrics_report(const FabricStats &stats);
+/**
+ * `with_faults` adds the chaos-mode `faults` subtree
+ * (src/api/README.md). Kept opt-in (the scenario runner sets it only
+ * when the spec configures chaos) so fault-free reports — and the
+ * committed BENCH baselines diffed against them — stay byte-identical
+ * with the pre-chaos schema.
+ */
+Report fabric_metrics_report(const FabricStats &stats,
+                             bool with_faults = false);
 
 } // namespace btwc

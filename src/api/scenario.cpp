@@ -361,6 +361,8 @@ const struct FlagKeyMapping
     {"hot_mult", "hot_mult"},   {"hot-mult", "hot_mult"},
     {"links", "links"},         {"scheduler", "scheduler"},
     {"placement", "placement"}, {"deadline", "deadline"},
+    {"faults", "faults"},       {"timeout", "timeout"},
+    {"retries", "retries"},     {"migrate", "migrate"},
     {"window", "window"},       {"overlap", "overlap"},
     {"cycles", "cycles"},       {"trials", "trials"},
     {"failures", "failures"},   {"threads", "threads"},
@@ -370,6 +372,7 @@ const struct FlagKeyMapping
 /** Boolean / shortcut flags with their own historical spellings. */
 const char *const kBoolFlagSpellings[] = {
     "weighted", "shared", "shared-link", "pipeline", "real_offchip",
+    "shed",
 };
 
 /** Dispatch one `key=value` token into the builder. */
@@ -497,6 +500,36 @@ apply_key(SpecBuilder &builder, const std::string &key,
         return builder.u64("deadline", value, &spec.service.deadline,
                            error);
     }
+    if (key == "faults") {
+        std::string plan_error;
+        if (!FaultPlan::try_parse(value, &spec.service.faults,
+                                  &plan_error)) {
+            set_error(error, "faults: " + plan_error);
+            return false;
+        }
+        return true;
+    }
+    if (key == "timeout") {
+        return builder.u64("timeout", value, &spec.service.timeout,
+                           error);
+    }
+    if (key == "retries") {
+        int64_t n = 0;
+        if (!parse_i64(value, &n) || n < 0) {
+            set_error(error, "bad retries '" + value +
+                                 "'; expected an integer >= 0");
+            return false;
+        }
+        spec.service.retries = static_cast<int>(n);
+        return true;
+    }
+    if (key == "shed") {
+        return builder.boolean("shed", value, &spec.service.shed, error);
+    }
+    if (key == "migrate") {
+        return builder.u64("migrate", value, &spec.service.migrate,
+                           error);
+    }
     if (key == "window") {
         return builder.positive_int("window", value, &spec.stream.window,
                                     error);
@@ -562,6 +595,38 @@ validate_spec(const ScenarioSpec &spec, std::string *error)
                       "links= / scheduler= / placement= / deadline= "
                       "are only valid in kind=fabric scenarios (the "
                       "decode fabric); add the bare token 'fabric'");
+            return false;
+        }
+        if (spec.service.timeout != defaults.service.timeout ||
+            spec.service.retries != defaults.service.retries ||
+            spec.service.shed != defaults.service.shed ||
+            spec.service.migrate != defaults.service.migrate) {
+            set_error(error,
+                      "timeout= / retries= / shed= / migrate= are only "
+                      "valid in kind=fabric scenarios (the graceful-"
+                      "degradation knobs of the decode fabric); add "
+                      "the bare token 'fabric'");
+            return false;
+        }
+    }
+    if (spec.service.faults.enabled) {
+        // Fault plans inject into the shared off-chip service, so they
+        // need one: every fabric link has one; an exact fleet only
+        // with shared=true; the remaining kinds have nowhere to inject.
+        if (spec.kind == ScenarioKind::ExactFleet) {
+            if (!spec.service.shared_link) {
+                set_error(error,
+                          "faults= on kind=exact-fleet needs the "
+                          "shared link (add the bare token 'shared'); "
+                          "private per-qubit queues have no fault "
+                          "injection point");
+                return false;
+            }
+        } else if (spec.kind != ScenarioKind::Fabric) {
+            set_error(error,
+                      "faults= is only valid in kind=fabric and "
+                      "shared-link kind=exact-fleet scenarios (the "
+                      "off-chip link fault injectors)");
             return false;
         }
     }
@@ -804,6 +869,21 @@ ScenarioSpec::to_string() const
     if (service.deadline != defaults.service.deadline) {
         emit("deadline", std::to_string(service.deadline));
     }
+    if (service.faults.enabled) {
+        emit("faults", service.faults.to_string());
+    }
+    if (service.timeout != defaults.service.timeout) {
+        emit("timeout", std::to_string(service.timeout));
+    }
+    if (service.retries != defaults.service.retries) {
+        emit("retries", std::to_string(service.retries));
+    }
+    if (service.shed != defaults.service.shed) {
+        emit("shed", service.shed ? "true" : "false");
+    }
+    if (service.migrate != defaults.service.migrate) {
+        emit("migrate", std::to_string(service.migrate));
+    }
     if (service.fleet_size != defaults.service.fleet_size) {
         emit("fleet", std::to_string(service.fleet_size));
     }
@@ -886,6 +966,9 @@ ScenarioSpec::apply_flags(const Flags &flags, std::string *error)
     }
     if (flags.has("real_offchip") && flags.get_bool("real_offchip")) {
         builder.spec.service.policy = OffchipPolicy::Mwpm;
+    }
+    if (flags.has("shed")) {
+        builder.spec.service.shed = flags.get_bool("shed");
     }
     if (flags.has("tiers")) {
         builder.tiers_value = flags.get("tiers", "");
@@ -1021,6 +1104,7 @@ ScenarioSpec::to_exact_fleet_config() const
             hotspot_probs(service.fleet_size, code.p,
                           service.hot_fraction, service.hot_mult);
     }
+    config.faults = service.faults;
     return config;
 }
 
@@ -1030,10 +1114,16 @@ ScenarioSpec::to_fabric_config() const
     FabricFleetConfig config;
     config.fleet = to_exact_fleet_config();
     config.fleet.shared_link = true;  // implied by the fabric
+    config.fleet.faults = FaultPlan{};  // plan lives fabric-side
     config.topology.links = service.links;
     config.topology.scheduler = service.scheduler;
     config.topology.placement = service.placement;
     config.topology.deadline = service.deadline;
+    config.topology.migrate_threshold = service.migrate;
+    config.faults = service.faults;
+    config.timeout = service.timeout;
+    config.retries = service.retries;
+    config.shed = service.shed;
     return config;
 }
 

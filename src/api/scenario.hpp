@@ -8,6 +8,7 @@
 #include "core/system.hpp"
 #include "decoders/tier_chain.hpp"
 #include "fabric/harness.hpp"
+#include "faults/fault_plan.hpp"
 #include "sim/fleet.hpp"
 #include "sim/lifetime.hpp"
 #include "sim/memory.hpp"
@@ -77,6 +78,22 @@ struct ServiceSpec
     SchedulerKind scheduler = SchedulerKind::Fifo;
     PlacementKind placement = PlacementKind::StaticHash;
     uint64_t deadline = 0;  ///< per-request deadline budget in cycles
+    /**
+     * Chaos mode (src/faults/). `faults=` installs a fault plan (the
+     * grammar of FaultPlan::try_parse, with its ';'/':' separators —
+     * no commas, so it nests in the scenario grammar verbatim); valid
+     * in kind=fabric, and in kind=exact-fleet only with the shared
+     * link. The degradation knobs are fabric-only: `timeout=` /
+     * `retries=` (tenant give-up budget and retry count, see
+     * SystemConfig::offchip_timeout), `shed=` (link-side deadline load
+     * shedding), and `migrate=` (failover threshold,
+     * FabricTopology::migrate_threshold).
+     */
+    FaultPlan faults;
+    uint64_t timeout = 0;  ///< tenant give-up budget in cycles; 0 = off
+    int retries = 0;       ///< re-escalations before the UF fallback
+    bool shed = false;     ///< link-side deadline load shedding
+    uint64_t migrate = 0;  ///< failover threshold in cycles/requests; 0 = off
 };
 
 /**
@@ -174,7 +191,8 @@ struct ScenarioSpec
      * --real_offchip --policy --arm --weighted --offchip-latency
      * --offchip-bandwidth --batch --shared-link --fleet-size --qubits
      * --q --hot-fraction --hot-mult --bandwidth --links --scheduler
-     * --placement --deadline --cycles --trials --failures --threads
+     * --placement --deadline --faults --timeout --retries --shed
+     * --migrate --cycles --trials --failures --threads
      * --seed. Returns false with a diagnostic on a malformed value.
      */
     bool apply_flags(const Flags &flags, std::string *error);

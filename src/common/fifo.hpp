@@ -33,6 +33,11 @@ class HeadFifo
      * read-only walk the audit() methods use to verify FIFO order. */
     const T &at(size_t i) const { return items_[head_ + i]; }
 
+    /** Mutable peek (0 = oldest) — for in-place edits that preserve
+     * FIFO order, e.g. `OffchipQueue` postponing every due in-service
+     * group by one cycle during a link outage. */
+    T &at(size_t i) { return items_[head_ + i]; }
+
     void push_back(T value) { items_.push_back(std::move(value)); }
 
     /** Remove and return the oldest entry (FIFO order). */

@@ -9,6 +9,12 @@ OffchipQueue::OffchipQueue(OffchipQueueConfig config) : config_(config) {}
 OffchipQueue::StepResult
 OffchipQueue::step(uint64_t new_requests)
 {
+    return step(new_requests, StepFaults{});
+}
+
+OffchipQueue::StepResult
+OffchipQueue::step(uint64_t new_requests, const StepFaults &faults)
+{
     // Stall accounting mirrors StallController: a cycle stalls when
     // the *previous* cycle ended with unserved backlog.
     const bool was_stall = stall_next_;
@@ -25,6 +31,31 @@ OffchipQueue::step(uint64_t new_requests)
         enqueued_ += new_requests;
     }
 
+    if (faults.outage) {
+        // The link is dead in both directions: nothing enters service
+        // and nothing lands. Every due in-service result is postponed
+        // by one cycle, its recorded delay stretching with it; non-due
+        // groups are untouched, so land-cycle monotonicity survives
+        // (postponed fronts move to cycle_ + 1, later groups already
+        // land at or after that).
+        ++outage_cycles_;
+        StepResult out;
+        for (size_t i = 0; i < in_service_.size(); ++i) {
+            Group &group = in_service_.at(i);
+            if (group.cycle > cycle_) {
+                break;
+            }
+            group.cycle = cycle_ + 1;
+            if (group.delay < kMaxRecordedDelay) {
+                ++group.delay;
+            }
+        }
+        stall_next_ = backlog_ > 0;
+        max_backlog_ = backlog_ > max_backlog_ ? backlog_ : max_backlog_;
+        ++cycle_;
+        return out;
+    }
+
     // Serve up to `bandwidth` requests FIFO; 0 means unlimited, the
     // synchronous model's implicit assumption.
     StepResult out;
@@ -32,7 +63,15 @@ OffchipQueue::step(uint64_t new_requests)
         config_.bandwidth == 0 ? backlog_ : config_.bandwidth;
     uint64_t to_serve = backlog_ < capacity ? backlog_ : capacity;
     out.served = to_serve;
-    const uint64_t land_cycle = cycle_ + config_.latency;
+    uint64_t land_cycle =
+        cycle_ + config_.latency + faults.extra_latency;
+    // A FIFO link: a request served during a spike cannot be overtaken
+    // by one served after the spike ends, so later land cycles are
+    // clamped up to the last in-flight one.
+    if (!in_service_.empty() &&
+        land_cycle < in_service_.at(in_service_.size() - 1).cycle) {
+        land_cycle = in_service_.at(in_service_.size() - 1).cycle;
+    }
     while (to_serve > 0) {
         Group &group = waiting_.front();
         const uint64_t take =
@@ -79,10 +118,29 @@ OffchipQueue::step(uint64_t new_requests)
 }
 
 void
+OffchipQueue::shed(uint64_t count)
+{
+    BTWC_CHECK_MSG(count <= backlog_,
+                   "only waiting requests can be shed");
+    shed_ += count;
+    backlog_ -= count;
+    while (count > 0) {
+        Group &group = waiting_.front();
+        const uint64_t take = group.count < count ? group.count : count;
+        group.count -= take;
+        count -= take;
+        if (group.count == 0) {
+            waiting_.pop_front();
+        }
+    }
+}
+
+void
 OffchipQueue::audit() const
 {
-    BTWC_CHECK_MSG(enqueued_ == served_ + backlog_,
-                   "request conservation: enqueued == served + backlog");
+    BTWC_CHECK_MSG(enqueued_ == served_ + shed_ + backlog_,
+                   "request conservation: "
+                   "enqueued == served + shed + backlog");
     BTWC_CHECK_MSG(served_ == landed_ + in_flight_,
                    "request conservation: served == landed + in flight");
     BTWC_CHECK_MSG(total_cycles_ == work_cycles_ + stall_cycles_,

@@ -66,11 +66,45 @@ class OffchipQueue
     explicit OffchipQueue(OffchipQueueConfig config = OffchipQueueConfig());
 
     /**
+     * Per-cycle fault condition of the link (src/faults/): what the
+     * `FaultInjector` says this cycle looks like. The all-default
+     * value is the healthy link, and `step(n)` forwards to
+     * `step(n, StepFaults{})` — so the fault-aware path is byte-exact
+     * with the legacy one when nothing fires.
+     */
+    struct StepFaults
+    {
+        /**
+         * Link dead this cycle: nothing enters service and nothing
+         * lands — every due in-service result is postponed by one
+         * cycle (the down-link is dead in both directions), its
+         * recorded delay stretching with it.
+         */
+        bool outage = false;
+        /** Extra service latency this cycle (latency spike). */
+        uint64_t extra_latency = 0;
+    };
+
+    /**
      * Advance one cycle with `new_requests` fresh escalations: enqueue
      * them, serve up to `bandwidth` queued requests (FIFO), and land
      * every in-flight result whose latency has elapsed.
      */
     StepResult step(uint64_t new_requests);
+
+    /** As `step(new_requests)` under this cycle's fault condition. */
+    StepResult step(uint64_t new_requests, const StepFaults &faults);
+
+    /**
+     * Remove `count` waiting requests from the backlog without serving
+     * them — the accounting half of admission-control load shedding
+     * and of tenant give-ups (core/offchip_service.hpp); the service
+     * removes the matching payloads. Counts are taken from the oldest
+     * waiting groups (the queue tracks only counts, not identities).
+     * Shed requests move enqueued-conservation to the `shed()` column:
+     * enqueued == served + shed + backlog.
+     */
+    void shed(uint64_t count);
 
     /** Active configuration. */
     const OffchipQueueConfig &config() const { return config_; }
@@ -104,6 +138,12 @@ class OffchipQueue
 
     /** Total corrections landed. */
     uint64_t landed() const { return landed_; }
+
+    /** Total requests shed (admission control + give-ups). */
+    uint64_t shed_total() const { return shed_; }
+
+    /** Cycles this link spent inside an outage window. */
+    uint64_t outage_cycles() const { return outage_cycles_; }
 
     /**
      * Relative execution-time increase caused by stalling (Fig. 16
@@ -145,7 +185,7 @@ class OffchipQueue
 
     /**
      * Verify the queue's internal consistency: conservation across
-     * the counters (enqueued == served + backlog,
+     * the counters (enqueued == served + shed + backlog,
      * served == landed + in_flight, total == work + stall cycles),
      * FIFO group order (enqueue cycles non-decreasing in the waiting
      * FIFO, land cycles non-decreasing and not yet due in the
@@ -180,6 +220,8 @@ class OffchipQueue
     uint64_t enqueued_ = 0;
     uint64_t served_ = 0;
     uint64_t landed_ = 0;
+    uint64_t shed_ = 0;
+    uint64_t outage_cycles_ = 0;
     uint64_t max_backlog_ = 0;
     uint64_t total_cycles_ = 0;
     uint64_t work_cycles_ = 0;

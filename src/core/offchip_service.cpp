@@ -115,29 +115,134 @@ SharedOffchipService::chains_for(int distance)
 }
 
 void
+SharedOffchipService::set_fault_injector(
+    std::unique_ptr<FaultInjector> injector)
+{
+    BTWC_CHECK_MSG(injector != nullptr,
+                   "set_fault_injector installs a chaos plan; the "
+                   "healthy link is the no-injector default");
+    BTWC_CHECK_MSG(next_seq_ == 0,
+                   "the fault plan is fixed before the first enqueue "
+                   "(a mid-run swap would tear the fault ledger)");
+    injector_ = std::move(injector);
+}
+
+void
+SharedOffchipService::enable_shedding(bool on)
+{
+    BTWC_CHECK_MSG(!on || scheduler_ != nullptr,
+                   "load shedding needs deadline stamps, which only "
+                   "scheduled mode records");
+    shed_enabled_ = on;
+}
+
+SharedOffchipService::GiveUpResult
+SharedOffchipService::give_up(int owner, int half)
+{
+    BTWC_CHECK_MSG(scheduler_ != nullptr,
+                   "give-ups are a scheduled-mode (fabric) feature");
+    for (size_t i = 0; i < sched_waiting_.size(); ++i) {
+        const Request &request = sched_waiting_[i];
+        if (request.synthetic || request.owner != owner ||
+            request.half != half) {
+            continue;
+        }
+        // Owners only time out requests enqueued in past cycles, so
+        // the matching entry is in the queue's backlog (not fresh_).
+        BTWC_CHECK_MSG(request.arrival_cycle < queue_.total_cycles(),
+                       "give-ups target requests enqueued in past "
+                       "cycles");
+        sched_waiting_.erase(sched_waiting_.begin() +
+                             static_cast<long>(i));
+        queue_.shed(1);
+        ++canceled_;
+        ++tenant_slot(owner).canceled;
+        return GiveUpResult::Canceled;
+    }
+    // In flight: count the half's entries not already claimed by an
+    // earlier give-up; a surplus one is the live request to abandon.
+    size_t inflight_matches = 0;
+    for (size_t i = 0; i < inflight_.size(); ++i) {
+        const Delivery &other = inflight_.at(i);
+        if (!other.synthetic && other.owner == owner &&
+            other.half == half) {
+            ++inflight_matches;
+        }
+    }
+    if (inflight_matches > stale_count(owner, half)) {
+        stale_.emplace_back(owner, half);
+        return GiveUpResult::Stale;
+    }
+    return GiveUpResult::Gone;
+}
+
+void
+SharedOffchipService::enqueue_synthetic(int owner, uint64_t count)
+{
+    BTWC_CHECK_MSG(owner >= 0, "surges are charged to a tenant lane");
+    for (uint64_t i = 0; i < count; ++i) {
+        Request request;
+        request.owner = owner;
+        request.half = 0;
+        request.oracle = true;  // empty payload, no decode
+        request.synthetic = true;
+        request.seq = next_seq_++;
+        if (owner + 1 > owners_seen_) {
+            owners_seen_ = owner + 1;
+        }
+        if (scheduler_) {
+            // Deadline-stamped like real requests so admission control
+            // can shed expired ballast too — otherwise a surge beyond
+            // link bandwidth would grow the backlog without bound no
+            // matter what the degradation machinery does.
+            request.arrival_cycle = queue_.total_cycles();
+            const uint64_t budget = lane_of(owner).deadline;
+            request.deadline_cycle =
+                budget > 0 ? request.arrival_cycle + budget : 0;
+            sched_waiting_.push_back(std::move(request));
+        } else {
+            waiting_.push_back(std::move(request));
+        }
+        ++fresh_;
+        ++surge_enqueued_;
+        ++synthetic_pending_;
+    }
+}
+
+void
 SharedOffchipService::enqueue(Request request)
 {
     BTWC_CHECK_MSG(request.owner >= 0 &&
                        (request.half == 0 || request.half == 1),
                    "requests carry a valid (owner, half) tag");
+    BTWC_CHECK_MSG(!request.synthetic,
+                   "synthetic surge ballast goes through "
+                   "enqueue_synthetic");
     if (audit_basic()) {
         // The reconciliation contract (core/system.hpp): a half never
-        // escalates while its previous request is outstanding. The
-        // per-(owner, half) scan is bounded by pending() <= 2 * owners.
+        // escalates while its previous request is outstanding — every
+        // existing entry for this (owner, half) must be a stale
+        // give-up leftover. The per-(owner, half) scan is bounded by
+        // pending() <= 2 * owners (+ synthetics + stales).
+        size_t outstanding = 0;
         for (size_t i = 0; i < waiting_count(); ++i) {
             const Request &other = waiting_at(i);
-            BTWC_CHECK_MSG(other.owner != request.owner ||
-                               other.half != request.half,
-                           "one outstanding off-chip request per "
-                           "(owner, half): already waiting");
+            if (!other.synthetic && other.owner == request.owner &&
+                other.half == request.half) {
+                ++outstanding;
+            }
         }
         for (size_t i = 0; i < inflight_.size(); ++i) {
             const Delivery &other = inflight_.at(i);
-            BTWC_CHECK_MSG(other.owner != request.owner ||
-                               other.half != request.half,
-                           "one outstanding off-chip request per "
-                           "(owner, half): already in flight");
+            if (!other.synthetic && other.owner == request.owner &&
+                other.half == request.half) {
+                ++outstanding;
+            }
         }
+        BTWC_CHECK_MSG(outstanding <=
+                           stale_count(request.owner, request.half),
+                       "one outstanding off-chip request per "
+                       "(owner, half) beyond stale give-up leftovers");
     }
     request.seq = next_seq_++;
     if (request.owner + 1 > owners_seen_) {
@@ -254,7 +359,50 @@ SharedOffchipService::serve_decode(std::vector<Request> served)
                          served[i].deadline_cycle});
         }
         inflight_.push_back(Delivery{served[i].owner, served[i].half,
-                                     std::move(corrections[i])});
+                                     std::move(corrections[i]),
+                                     served[i].synthetic});
+    }
+}
+
+size_t
+SharedOffchipService::stale_count(int owner, int half) const
+{
+    size_t count = 0;
+    for (const std::pair<int, int> &key : stale_) {
+        if (key.first == owner && key.second == half) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+void
+SharedOffchipService::shed_expired(uint64_t now)
+{
+    for (size_t i = 0; i < sched_waiting_.size();) {
+        const Request &request = sched_waiting_[i];
+        if (request.deadline_cycle == 0 ||
+            request.deadline_cycle >= now) {
+            ++i;
+            continue;
+        }
+        // Past deadline: the decode could no longer land in time, so
+        // spend zero link capacity on it. A real owner gets a nack
+        // (delivered with this step's landings, unblocking the half);
+        // expired surge ballast is dropped silently — nobody waits on
+        // it, but shedding it is what keeps a beyond-bandwidth surge
+        // from growing the backlog without bound.
+        ++shed_;
+        if (request.synthetic) {
+            --synthetic_pending_;
+        } else {
+            ++tenant_slot(request.owner).shed;
+            shed_nacks_.push_back(
+                Delivery{request.owner, request.half, {}, false});
+        }
+        sched_waiting_.erase(sched_waiting_.begin() +
+                             static_cast<long>(i));
+        queue_.shed(1);
     }
 }
 
@@ -270,7 +418,18 @@ SharedOffchipService::tenant_slot(int owner)
 const std::vector<SharedOffchipService::Delivery> &
 SharedOffchipService::step()
 {
-    const OffchipQueue::StepResult sr = queue_.step(fresh_);
+    // Admission control first: requests already past deadline are
+    // shed before they can consume this cycle's bandwidth.
+    if (shed_enabled_) {
+        shed_expired(queue_.total_cycles());
+    }
+    OffchipQueue::StepFaults faults;
+    if (injector_) {
+        const uint64_t now = queue_.total_cycles();
+        faults.outage = injector_->link_down(now);
+        faults.extra_latency = injector_->extra_latency(now);
+    }
+    const OffchipQueue::StepResult sr = queue_.step(fresh_, faults);
     fresh_ = 0;
 
     // Serve: pop the requests entering service this cycle (FIFO across
@@ -294,9 +453,52 @@ SharedOffchipService::step()
     // re-orders service).
     landed_now_.clear();
     for (uint64_t i = 0; i < sr.landed; ++i) {
-        landed_now_.push_back(inflight_.pop_front());
+        Delivery delivery = inflight_.pop_front();
+        LandMeta meta;
         if (scheduler_) {
-            const LandMeta meta = inflight_meta_.pop_front();
+            meta = inflight_meta_.pop_front();
+        }
+        const uint64_t land_index = landed_index_++;
+
+        // Synthetic surge ballast consumed its link slot; swallow it.
+        if (delivery.synthetic) {
+            ++surge_landed_;
+            --synthetic_pending_;
+            continue;
+        }
+        // A give-up leftover: the owner stopped waiting (and may have
+        // re-escalated), so the correction is stale — discard it.
+        if (!stale_.empty()) {
+            bool discarded = false;
+            for (size_t k = 0; k < stale_.size(); ++k) {
+                if (stale_[k].first == delivery.owner &&
+                    stale_[k].second == delivery.half) {
+                    stale_.erase(stale_.begin() +
+                                 static_cast<long>(k));
+                    ++stale_discards_;
+                    ++tenant_slot(delivery.owner).stale_discards;
+                    discarded = true;
+                    break;
+                }
+            }
+            if (discarded) {
+                continue;
+            }
+        }
+        // Down-link loss: the correction never reaches the owner,
+        // whose timeout machinery is what recovers the half.
+        if (injector_ && injector_->drop_delivery(land_index)) {
+            ++dropped_;
+            ++tenant_slot(delivery.owner).dropped;
+            continue;
+        }
+        if (injector_ && !delivery.correction.empty() &&
+            injector_->corrupt_delivery(land_index)) {
+            delivery.correction[injector_->corrupt_byte(
+                land_index, delivery.correction.size())] ^= 1;
+            ++corrupted_;
+        }
+        if (scheduler_) {
             const uint64_t land_cycle = queue_.total_cycles() - 1;
             uint64_t delay = land_cycle - meta.arrival_cycle;
             if (delay > OffchipQueue::kMaxRecordedDelay) {
@@ -312,7 +514,21 @@ SharedOffchipService::step()
                 ++tenant.deadline_misses;
             }
         }
+        ++delivered_;
+        const bool duplicate =
+            injector_ && injector_->duplicate_delivery(land_index);
+        landed_now_.push_back(std::move(delivery));
+        if (duplicate) {
+            ++duplicated_;
+            landed_now_.push_back(landed_now_.back());
+        }
     }
+    // Shed nacks ride out with this cycle's landings, after them (a
+    // real correction always beats its own post-hoc nack).
+    for (Delivery &nack : shed_nacks_) {
+        landed_now_.push_back(std::move(nack));
+    }
+    shed_nacks_.clear();
     if (audit_deep()) {
         audit();
     }
@@ -342,27 +558,43 @@ SharedOffchipService::audit() const
                            "waiting requests stay in arrival order "
                            "(picks remove entries, never re-order)");
         }
-        // <= 1 outstanding per (owner, half): no duplicate later in
-        // the waiting set, and nothing in flight for the same half.
-        for (size_t j = i + 1; j < waiting_count(); ++j) {
+        if (request.synthetic) {
+            continue;
+        }
+        // <= 1 live outstanding per (owner, half): every other entry
+        // for this half (earlier waiting, or in flight) is covered by
+        // a stale give-up key. With no give-ups this is exactly the
+        // legacy "no duplicate waiting, nothing in flight" pair.
+        size_t others = 0;
+        for (size_t j = 0; j < i; ++j) {
             const Request &other = waiting_at(j);
-            BTWC_CHECK_MSG(other.owner != request.owner ||
-                               other.half != request.half,
-                           "at most one waiting request per "
-                           "(owner, half)");
+            if (!other.synthetic && other.owner == request.owner &&
+                other.half == request.half) {
+                ++others;
+            }
         }
         for (size_t j = 0; j < inflight_.size(); ++j) {
             const Delivery &other = inflight_.at(j);
-            BTWC_CHECK_MSG(other.owner != request.owner ||
-                               other.half != request.half,
-                           "a half with an in-flight correction never "
-                           "waits on a second request");
+            if (!other.synthetic && other.owner == request.owner &&
+                other.half == request.half) {
+                ++others;
+            }
         }
+        BTWC_CHECK_MSG(others <= stale_count(request.owner,
+                                             request.half),
+                       "at most one live outstanding request per "
+                       "(owner, half) beyond stale give-up leftovers");
     }
-    if (scheduler_ && owners_seen_ > 0) {
+    if (scheduler_ && owners_seen_ > 0 &&
+        !(injector_ && injector_->plan().any_faults())) {
         // No starvation beyond the discipline's aging bound: every
         // waiting request's age stays under the sound (loose) bound
         // the scheduler declares for this link's tenant population.
+        // Skipped under a live fault plan: outages freeze service and
+        // surge ballast inflates demand, so ages can exceed any bound
+        // the discipline could soundly declare — chaos-mode liveness
+        // is instead covered by the timeout/shedding machinery and
+        // pinned by the bounded-p99 acceptance tests.
         const uint64_t bound = scheduler_->starvation_bound(
             owners_seen_, queue_.config().bandwidth, lane_extremes());
         const uint64_t now = queue_.total_cycles();
@@ -377,18 +609,43 @@ SharedOffchipService::audit() const
     }
     for (size_t i = 0; i < inflight_.size(); ++i) {
         const Delivery &delivery = inflight_.at(i);
+        if (delivery.synthetic) {
+            continue;
+        }
+        size_t others = 0;
         for (size_t j = i + 1; j < inflight_.size(); ++j) {
             const Delivery &other = inflight_.at(j);
-            BTWC_CHECK_MSG(other.owner != delivery.owner ||
-                               other.half != delivery.half,
-                           "at most one in-flight correction per "
-                           "(owner, half)");
+            if (!other.synthetic && other.owner == delivery.owner &&
+                other.half == delivery.half) {
+                ++others;
+            }
         }
+        BTWC_CHECK_MSG(others <= stale_count(delivery.owner,
+                                             delivery.half),
+                       "at most one live in-flight correction per "
+                       "(owner, half) beyond stale give-up leftovers");
     }
-    BTWC_CHECK_MSG(pending() <=
-                       2 * static_cast<size_t>(owners_seen_),
+    BTWC_CHECK_MSG(pending() <= 2 * static_cast<size_t>(owners_seen_) +
+                                    synthetic_pending_ + stale_.size(),
                    "the one-request-per-half contract bounds the link "
-                   "backlog at two entries per tenant");
+                   "backlog at two entries per tenant (plus surge "
+                   "ballast and stale give-up leftovers)");
+
+    // The fault ledger: every queue landing is exactly one of
+    // delivered / dropped / stale-discarded / synthetic-swallowed,
+    // and every queue shed is deadline-shed or give-up-canceled.
+    // Together with the queue's enqueued == served + shed + backlog
+    // this closes the generalized conservation: every request is
+    // exactly one of served, shed, or pending. All-zero extras on the
+    // healthy path collapse it to landed == delivered.
+    BTWC_CHECK_MSG(queue_.landed() == delivered_ + dropped_ +
+                                          stale_discards_ +
+                                          surge_landed_,
+                   "landing ledger: landed == delivered + dropped + "
+                   "stale + surge");
+    BTWC_CHECK_MSG(queue_.shed_total() == shed_ + canceled_,
+                   "shed ledger: shed_total == deadline-shed + "
+                   "give-up-canceled");
 }
 
 } // namespace btwc

@@ -9,6 +9,7 @@
 #include "core/offchip_queue.hpp"
 #include "decoders/tier_chain.hpp"
 #include "fabric/scheduler.hpp"
+#include "faults/fault_plan.hpp"
 #include "surface/lattice.hpp"
 
 namespace btwc {
@@ -96,6 +97,13 @@ class SharedOffchipService
          * `enqueue`; 0 = the lane has no deadline.
          */
         uint64_t deadline_cycle = 0;
+        /**
+         * Fault-plan surge ballast (`enqueue_synthetic`): consumes
+         * real link capacity but is swallowed at landing instead of
+         * being delivered, and is exempt from the
+         * one-outstanding-per-half contract.
+         */
+        bool synthetic = false;
     };
 
     /** A correction routed back to its owning tenant half. */
@@ -104,6 +112,7 @@ class SharedOffchipService
         int owner = 0;
         int half = 0;
         std::vector<uint8_t> correction;  ///< per-data-qubit flip mask
+        bool synthetic = false;           ///< surge ballast (swallowed)
     };
 
     /**
@@ -118,6 +127,14 @@ class SharedOffchipService
         uint64_t landed = 0;
         /** Landings past the lane deadline (deadline lanes only). */
         uint64_t deadline_misses = 0;
+        /** Deliveries lost to the fault plan's drop clause. */
+        uint64_t dropped = 0;
+        /** Requests shed past deadline (admission control). */
+        uint64_t shed = 0;
+        /** Requests canceled by an owner give-up (timeout). */
+        uint64_t canceled = 0;
+        /** Landed corrections discarded as stale after a give-up. */
+        uint64_t stale_discards = 0;
         /** Enqueue-to-landing delay, saturated like the queue's. */
         CountHistogram delay;
 
@@ -126,6 +143,10 @@ class SharedOffchipService
             enqueued += other.enqueued;
             landed += other.landed;
             deadline_misses += other.deadline_misses;
+            dropped += other.dropped;
+            shed += other.shed;
+            canceled += other.canceled;
+            stale_discards += other.stale_discards;
             delay.merge(other.delay);
         }
     };
@@ -169,6 +190,59 @@ class SharedOffchipService
     void register_code(const RotatedSurfaceCode &code);
 
     /**
+     * Install the per-link fault injector (chaos mode, src/faults/).
+     * Must be installed before the first enqueue, like the scheduler.
+     * An injector whose plan never fires leaves every observable
+     * bit-exact with the uninjected service — the zero-fault contract
+     * (pinned in tests/test_faults.cpp).
+     */
+    void set_fault_injector(std::unique_ptr<FaultInjector> injector);
+
+    /** Installed injector, or nullptr on the healthy path. */
+    const FaultInjector *fault_injector() const
+    {
+        return injector_.get();
+    }
+
+    /**
+     * Enable admission-control load shedding (scheduled mode only):
+     * each `step()` first sheds every waiting request already past its
+     * lane deadline and delivers an empty-correction nack to its owner
+     * in the same cycle, so the owner's half unblocks instead of
+     * waiting on a decode that could no longer help. Expired synthetic
+     * surge ballast is shed silently (counted, no nack) — that is what
+     * bounds the backlog under a beyond-bandwidth surge.
+     */
+    void enable_shedding(bool on);
+
+    /** What `give_up` found for the (owner, half) request. */
+    enum class GiveUpResult
+    {
+        Canceled,  ///< still waiting: removed from the link, shed
+        Stale,     ///< in flight: will land, but will be discarded
+        Gone,      ///< nothing outstanding (e.g. the delivery dropped)
+    };
+
+    /**
+     * Owner-side timeout: abandon the outstanding request of
+     * (owner, half), freeing the half for a retry or an on-chip
+     * fallback decode (core/system.hpp). A waiting request is removed
+     * outright; an in-flight one cannot be recalled from the link, so
+     * its eventual landing is marked stale and silently discarded.
+     * Scheduled mode only.
+     */
+    GiveUpResult give_up(int owner, int half);
+
+    /**
+     * Fault-plan demand surge: enqueue `count` synthetic requests on
+     * `owner`'s lane. They occupy real queue slots and bandwidth (that
+     * is the whole point) but carry no payload, bypass the
+     * one-outstanding-per-half contract, and are swallowed at landing
+     * rather than delivered.
+     */
+    void enqueue_synthetic(int owner, uint64_t count);
+
+    /**
      * Add one escalation to the current cycle's fresh demand. Tenants
      * call this from inside their `step()`; the request waits for
      * link capacity behind every earlier request from any tenant
@@ -206,6 +280,32 @@ class SharedOffchipService
     /** Scheduled-mode landings past their lane deadline. */
     uint64_t deadline_misses() const { return deadline_misses_; }
 
+    /** Corrections actually delivered to owners (excludes dropped,
+     * stale, synthetic; counts each landing once — duplicates extra). */
+    uint64_t delivered() const { return delivered_; }
+
+    /** Deliveries lost to the fault plan's drop clause. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Extra deliveries injected by the duplicate clause. */
+    uint64_t duplicated() const { return duplicated_; }
+
+    /** Deliveries whose correction landed with a flipped byte. */
+    uint64_t corrupted() const { return corrupted_; }
+
+    /** Requests shed past deadline (admission control). */
+    uint64_t shed_requests() const { return shed_; }
+
+    /** Requests canceled by owner give-ups (timeouts). */
+    uint64_t canceled() const { return canceled_; }
+
+    /** Landed corrections discarded as stale after a give-up. */
+    uint64_t stale_discards() const { return stale_discards_; }
+
+    /** Synthetic surge requests enqueued / swallowed at landing. */
+    uint64_t surge_enqueued() const { return surge_enqueued_; }
+    uint64_t surge_landed() const { return surge_landed_; }
+
     /** Scheduled-mode per-tenant accounting, indexed by owner. */
     const std::vector<TenantLinkStats> &tenant_stats() const
     {
@@ -218,8 +318,18 @@ class SharedOffchipService
      * counting FIFOs (waiting == backlog + fresh, in-flight counts
      * match), strictly increasing sequence numbers along the waiting
      * entries (arrival order), at most one outstanding request per
-     * (owner, half) across waiting + in-flight, and the resulting
-     * `pending() <= 2 * owners` backlog bound. With a scheduler
+     * (owner, half) across waiting + in-flight — relaxed by the number
+     * of stale give-up keys the half still has in flight — and the
+     * resulting `pending() <= 2 * owners + synthetic + stale` backlog
+     * bound (byte-exact with the legacy `2 * owners` bound when no
+     * faults machinery is active). The fault ledger closes the
+     * conservation generalization: every queue landing is exactly one
+     * of delivered / dropped / stale-discarded / synthetic-swallowed
+     * (landed == delivered + dropped + stale + surge_landed), and
+     * every queue shed is deadline-shed or give-up-canceled
+     * (shed_total == shed + canceled); with `OffchipQueue::audit`'s
+     * enqueued == served + shed + backlog this pins "every request is
+     * exactly one of served / shed / pending". With a scheduler
      * installed, additionally: the landing metadata FIFO tracks the
      * in-flight FIFO, and no waiting request has aged past the
      * discipline's `starvation_bound` (no starvation beyond the aging
@@ -264,6 +374,12 @@ class SharedOffchipService
     /** Pop the requests entering service this cycle, in serve order. */
     std::vector<Request> take_served(uint64_t count);
 
+    /** Shed waiting requests past deadline; queue their nacks. */
+    void shed_expired(uint64_t now);
+
+    /** Outstanding stale give-up keys for (owner, half). */
+    size_t stale_count(int owner, int half) const;
+
     /** Decode `served` (batched per distance/half/tier) into flight. */
     void serve_decode(std::vector<Request> served);
 
@@ -293,6 +409,24 @@ class SharedOffchipService
     uint64_t deadline_misses_ = 0;
     uint64_t fifo_next_seq_ = 0;     ///< FIFO-lockstep audit cursor
     std::vector<TenantLinkStats> tenant_stats_;
+    // Fault machinery (all inert — and every counter zero — until an
+    // injector is installed, shedding enabled, or give_up called).
+    std::unique_ptr<FaultInjector> injector_;
+    bool shed_enabled_ = false;
+    uint64_t landed_index_ = 0;      ///< monotone per-landing fault key
+    /** (owner, half) keys whose next landing is a give-up leftover. */
+    std::vector<std::pair<int, int>> stale_;
+    std::vector<Delivery> shed_nacks_;  ///< nacks to append this step
+    uint64_t delivered_ = 0;
+    uint64_t dropped_ = 0;
+    uint64_t duplicated_ = 0;
+    uint64_t corrupted_ = 0;
+    uint64_t shed_ = 0;
+    uint64_t canceled_ = 0;
+    uint64_t stale_discards_ = 0;
+    uint64_t surge_enqueued_ = 0;
+    uint64_t surge_landed_ = 0;
+    uint64_t synthetic_pending_ = 0;
 };
 
 } // namespace btwc

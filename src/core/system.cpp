@@ -37,6 +37,43 @@ BtwcSystem::step()
     const int num_types = config_.track_both_types ? 2 : 1;
     const bool queued = config_.service == OffchipService::Queued;
 
+    // Phase 0 (graceful degradation, shared tenants only): time out
+    // halves whose off-chip request has been outstanding past the
+    // backoff-scaled budget. The give-up frees the half; with retries
+    // left the persisting signature re-escalates naturally in phase 2
+    // (that re-enqueue *is* the retry), otherwise the on-chip UF
+    // fallback resolves the half right now instead of waiting on a
+    // dead link — a degraded decode, weaker than the off-chip tier
+    // but bounded in time.
+    if (shared_ != nullptr && config_.offchip_timeout > 0) {
+        for (int t = 0; t < num_types; ++t) {
+            if (!half_busy_[t]) {
+                continue;
+            }
+            const uint64_t waited = cycles_ - half_busy_since_[t];
+            const int shift =
+                half_retries_[t] < 6 ? half_retries_[t] : 6;
+            if (waited < (config_.offchip_timeout << shift)) {
+                continue;
+            }
+            shared_->give_up(owner_, t);
+            half_busy_[t] = false;
+            if (half_retries_[t] < config_.offchip_retries) {
+                ++half_retries_[t];
+                ++retried_;
+                ++report.retried;
+                continue;
+            }
+            Half &half = halves_[t];
+            half.fallback->decode_packed(half.filter.filtered(),
+                                         half.fallback_result);
+            frames_[t].apply_mask(half.fallback_result.correction);
+            half_retries_[t] = 0;
+            ++degraded_;
+            ++report.degraded;
+        }
+    }
+
     // Off-chip tiers never run inside phase 1: under the Queued
     // service their input is enqueued and decoded when served, and
     // under the Inline Oracle policy the true error state is cleared
@@ -144,6 +181,7 @@ BtwcSystem::step()
                 }
                 shared_->enqueue(std::move(request));
                 half_busy_[t] = true;
+                half_busy_since_[t] = cycles_;
                 ++report.queued;
             } else {
                 PendingDecode request;
@@ -238,8 +276,24 @@ void
 BtwcSystem::deliver_offchip_correction(
     int half, const std::vector<uint8_t> &correction)
 {
-    frames_[static_cast<size_t>(half)].apply_mask(correction);
+    if (!half_busy_[half]) {
+        // Nothing outstanding: a fault-plan duplicate of a correction
+        // this half already consumed. On the healthy path halves are
+        // always busy when a delivery arrives, so this never fires.
+        ++duplicate_drops_;
+        return;
+    }
     half_busy_[half] = false;
+    if (correction.empty()) {
+        // Admission-control nack: the link shed the request past its
+        // deadline. The half is free again and its persisting
+        // signature re-escalates (or degrades) on the next cycle.
+        ++shared_nacks_;
+        half_retries_[half] = 0;
+        return;
+    }
+    frames_[static_cast<size_t>(half)].apply_mask(correction);
+    half_retries_[half] = 0;
     ++shared_landed_;
 }
 

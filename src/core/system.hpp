@@ -11,6 +11,7 @@
 #include "core/offchip_queue.hpp"
 #include "core/offchip_service.hpp"
 #include "decoders/tier_chain.hpp"
+#include "matching/union_find.hpp"
 #include "surface/frame.hpp"
 #include "surface/lattice.hpp"
 #include "surface/noise.hpp"
@@ -73,6 +74,19 @@ struct SystemConfig
     uint64_t offchip_latency = 0;
     uint64_t offchip_bandwidth = 0;
     uint64_t offchip_batch = 0;
+    /**
+     * Graceful degradation under link faults (shared-link tenants
+     * only; 0 disables it, the bit-exact default). A half whose
+     * off-chip request has been outstanding for `offchip_timeout`
+     * cycles gives the request up (core/offchip_service.hpp) and
+     * either re-escalates — up to `offchip_retries` times per
+     * signature, each retry doubling the timeout budget (exponential
+     * backoff) — or, with retries exhausted, decodes the half's
+     * current filtered syndrome on an on-chip Union-Find fallback
+     * instead of waiting on a dead link (a `degraded` decode).
+     */
+    uint64_t offchip_timeout = 0;
+    int offchip_retries = 0;
 };
 
 /** What happened in one cycle of a BTWC pipeline. */
@@ -112,6 +126,10 @@ struct CycleReport
     int suppressed = 0;
     /** Requests still waiting for link capacity after this cycle. */
     uint64_t queue_backlog = 0;
+    /** Timed-out requests given up and re-escalated (backoff). */
+    int retried = 0;
+    /** Timed-out halves resolved by the on-chip UF fallback. */
+    int degraded = 0;
 };
 
 /**
@@ -225,6 +243,19 @@ class BtwcSystem
     /** Corrections the shared service delivered to this tenant. */
     uint64_t shared_landed() const { return shared_landed_; }
 
+    /** Timed-out requests given up and re-escalated (backoff). */
+    uint64_t retried_decodes() const { return retried_; }
+
+    /** Timed-out halves resolved by the on-chip UF fallback. */
+    uint64_t degraded_decodes() const { return degraded_; }
+
+    /** Empty-correction nacks received (shed requests). */
+    uint64_t shared_nacks() const { return shared_nacks_; }
+
+    /** Deliveries dropped because the half was no longer waiting
+     * (the fault plan's duplicate clause). */
+    uint64_t duplicate_drops() const { return duplicate_drops_; }
+
   private:
     struct Half
     {
@@ -233,9 +264,19 @@ class BtwcSystem
             : chain(code, detector, config.tiers),
               filter(code.num_checks(detector), config.filter_rounds)
         {
+            if (config.offchip_timeout > 0) {
+                fallback =
+                    std::make_unique<UnionFindDecoder>(code, detector);
+            }
         }
 
         TierChain chain;
+        /** On-chip degraded-mode decoder (offchip_timeout > 0 only):
+         * resolves a half whose link request timed out with retries
+         * exhausted, instead of waiting on a dead link. */
+        std::unique_ptr<UnionFindDecoder> fallback;
+        /** Pooled fallback decode outcome (degraded path only). */
+        Decoder::Result fallback_result;
         /** Packed per-cycle pipeline (measure_packed -> word-AND filter
          * -> packed tier walk): nothing on this path allocates in
          * steady state. */
@@ -304,6 +345,17 @@ class BtwcSystem
     SharedOffchipService *shared_ = nullptr;
     int owner_ = 0;
     uint64_t shared_landed_ = 0;
+
+    // Graceful degradation (offchip_timeout > 0, shared tenants): the
+    // cycle each half's outstanding request was enqueued, its
+    // consecutive-retry count (the backoff exponent), and the
+    // outcome counters.
+    uint64_t half_busy_since_[2] = {0, 0};
+    int half_retries_[2] = {0, 0};
+    uint64_t retried_ = 0;
+    uint64_t degraded_ = 0;
+    uint64_t shared_nacks_ = 0;
+    uint64_t duplicate_drops_ = 0;
 };
 
 } // namespace btwc

@@ -128,6 +128,7 @@ Fabric::Fabric(const FabricTopology &topology,
             ? 0.0
             : *std::min_element(tenant_probs.begin(),
                                 tenant_probs.end());
+    lanes_.reserve(tenant_probs.size());
     for (size_t q = 0; q < tenant_probs.size(); ++q) {
         TenantLane lane;
         const bool hot = tenant_probs[q] > min_p;
@@ -136,6 +137,29 @@ Fabric::Fabric(const FabricTopology &topology,
         lane.deadline = hot ? 2 * topology.deadline : topology.deadline;
         links_[static_cast<size_t>(placement_[q])]->set_tenant_lane(
             static_cast<int>(q), lane);
+        lanes_.push_back(lane);  // kept for failover re-homing
+    }
+}
+
+void
+Fabric::set_fault_plan(const FaultPlan &plan)
+{
+    BTWC_CHECK_MSG(plan.enabled,
+                   "set_fault_plan installs an enabled plan (possibly "
+                   "the no-op 'none' plan)");
+    plan_ = plan;
+    for (size_t k = 0; k < links_.size(); ++k) {
+        links_[k]->set_fault_injector(std::make_unique<FaultInjector>(
+            plan, static_cast<int>(k)));
+    }
+    down_streak_.assign(links_.size(), 0);
+}
+
+void
+Fabric::enable_shedding(bool on)
+{
+    for (const auto &service : links_) {
+        service->enable_shedding(on);
     }
 }
 
@@ -166,13 +190,81 @@ const std::vector<SharedOffchipService::Delivery> &
 Fabric::step()
 {
     landed_now_.clear();
+    migrated_now_.clear();
+    if (plan_.enabled && !plan_.surges.empty() && !placement_.empty()) {
+        // Surge demand joins this cycle's fresh escalations, routed
+        // through the live placement so each surge lands on exactly
+        // one link (the one serving its tenant).
+        surge_scratch_.clear();
+        plan_.surges_at(links_[0]->queue().total_cycles(),
+                        &surge_scratch_);
+        for (const std::pair<int, uint64_t> &surge : surge_scratch_) {
+            const int tenant =
+                surge.first % static_cast<int>(placement_.size());
+            links_[static_cast<size_t>(link_of(tenant))]
+                ->enqueue_synthetic(tenant, surge.second);
+        }
+    }
     for (const auto &service : links_) {
         for (const SharedOffchipService::Delivery &landing :
              service->step()) {
             landed_now_.push_back(landing);
         }
     }
+    if (topology_.migrate_threshold > 0) {
+        maybe_migrate();
+    }
     return landed_now_;
+}
+
+void
+Fabric::maybe_migrate()
+{
+    // Update the per-link outage streaks for the cycle just stepped.
+    for (size_t k = 0; k < links_.size(); ++k) {
+        const FaultInjector *injector = links_[k]->fault_injector();
+        const uint64_t stepped = links_[k]->queue().total_cycles() - 1;
+        if (injector != nullptr && injector->link_down(stepped)) {
+            ++down_streak_[k];
+        } else {
+            down_streak_[k] = 0;
+        }
+    }
+    for (size_t k = 0; k < links_.size(); ++k) {
+        if (down_streak_[k] < topology_.migrate_threshold &&
+            links_[k]->queue().backlog() < topology_.migrate_threshold) {
+            continue;
+        }
+        // Failover: re-home all of link k's tenants to the healthy
+        // link with the least backlog (ties to the lowest index).
+        // Outstanding requests stay on k and land from there; the
+        // harness re-attaches the moved tenants before their next
+        // escalation. Deterministic: purely a function of link state.
+        int dest = -1;
+        for (size_t j = 0; j < links_.size(); ++j) {
+            if (j == k || down_streak_[j] > 0) {
+                continue;
+            }
+            if (dest < 0 ||
+                links_[j]->queue().backlog() <
+                    links_[static_cast<size_t>(dest)]->queue().backlog()) {
+                dest = static_cast<int>(j);
+            }
+        }
+        if (dest < 0) {
+            continue;  // nowhere healthy to go
+        }
+        for (size_t q = 0; q < placement_.size(); ++q) {
+            if (placement_[q] != static_cast<int>(k)) {
+                continue;
+            }
+            placement_[q] = dest;
+            links_[static_cast<size_t>(dest)]->set_tenant_lane(
+                static_cast<int>(q), lanes_[q]);
+            migrated_now_.push_back(static_cast<int>(q));
+            ++migrations_;
+        }
+    }
 }
 
 size_t
@@ -207,6 +299,9 @@ Fabric::audit(uint64_t expected_enqueued) const
         routed += service->queue().enqueued();
         routed += service->pending() - service->queue().backlog() -
                   service->queue().in_flight();
+        // Synthetic surge ballast was injected by the fault plan, not
+        // shipped by the fleet; take it back out of the ledger.
+        routed -= service->surge_enqueued();
     }
     BTWC_CHECK_MSG(routed == expected_enqueued,
                    "conservation across links: every escalation the "

@@ -7,6 +7,7 @@
 
 #include "core/offchip_service.hpp"
 #include "fabric/scheduler.hpp"
+#include "faults/fault_plan.hpp"
 
 namespace btwc {
 
@@ -51,6 +52,15 @@ struct FabricTopology
     uint64_t deadline = 0;
     /** Priority-discipline aging parameter (make_scheduler). */
     uint64_t aging = 64;
+    /**
+     * Link-failover threshold (0 = static placement, the bit-exact
+     * default): after `step()`, a link whose consecutive-outage streak
+     * or end-of-cycle backlog reaches the threshold hands all its
+     * tenants to the healthy link with the least backlog. Outstanding
+     * requests stay on (and land from) the old link; only future
+     * escalations move. The ROADMAP dynamic-placement residual.
+     */
+    uint64_t migrate_threshold = 0;
 };
 
 /**
@@ -105,6 +115,28 @@ class Fabric
     TenantLane lane_of(int owner) const;
 
     /**
+     * Install the chaos plan (src/faults/): one `FaultInjector` per
+     * link (outages/spikes/drops keyed by link index) plus plan-level
+     * surge routing through the placement. Must precede the first
+     * enqueue. A plan with no firing clause leaves the fabric
+     * bit-exact (the zero-fault contract).
+     */
+    void set_fault_plan(const FaultPlan &plan);
+
+    /** Enable deadline load shedding on every link. */
+    void enable_shedding(bool on);
+
+    /** Tenants moved off a failed/overloaded link, cumulative. */
+    uint64_t migrations() const { return migrations_; }
+
+    /**
+     * Tenants whose placement changed during the last `step()` — the
+     * harness re-attaches each one to its new link before the next
+     * cycle's escalations.
+     */
+    const std::vector<int> &migrated_now() const { return migrated_now_; }
+
+    /**
      * Advance every link one machine cycle (in link order, after all
      * tenants stepped) and return the landings of all links
      * concatenated. The reference is valid until the next `step()`.
@@ -128,6 +160,9 @@ class Fabric
     void audit(uint64_t expected_enqueued) const;
 
   private:
+    /** Failover pass after a step (migrate_threshold > 0 only). */
+    void maybe_migrate();
+
     FabricTopology topology_;
     // unique_ptr: SharedOffchipService is neither movable nor copyable
     // (TierChain holds lattice references), and links_ must not
@@ -135,6 +170,13 @@ class Fabric
     std::vector<std::unique_ptr<SharedOffchipService>> links_;
     std::vector<int> placement_;  ///< tenant -> link index
     std::vector<SharedOffchipService::Delivery> landed_now_;
+    // Chaos mode (set_fault_plan / migrate_threshold).
+    FaultPlan plan_;
+    std::vector<TenantLane> lanes_;         ///< per tenant, for re-homing
+    std::vector<uint64_t> down_streak_;     ///< per link, outage run length
+    uint64_t migrations_ = 0;
+    std::vector<int> migrated_now_;
+    std::vector<std::pair<int, uint64_t>> surge_scratch_;
 };
 
 } // namespace btwc

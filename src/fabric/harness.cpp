@@ -24,6 +24,11 @@ TenantFabricStats::merge(const TenantFabricStats &other)
     deadline_misses += other.deadline_misses;
     probes += other.probes;
     failures += other.failures;
+    retried += other.retried;
+    degraded += other.degraded;
+    dropped += other.dropped;
+    shed += other.shed;
+    canceled += other.canceled;
     delay.merge(other.delay);
 }
 
@@ -37,7 +42,35 @@ LinkFabricStats::merge(const LinkFabricStats &other)
     work_cycles += other.work_cycles;
     max_backlog = std::max(max_backlog, other.max_backlog);
     deadline_misses += other.deadline_misses;
+    outage_cycles += other.outage_cycles;
+    dropped += other.dropped;
+    duplicated += other.duplicated;
+    corrupted += other.corrupted;
+    shed += other.shed;
+    canceled += other.canceled;
+    stale_discards += other.stale_discards;
+    surge_enqueued += other.surge_enqueued;
+    surge_landed += other.surge_landed;
     delay.merge(other.delay);
+}
+
+void
+FabricFaultStats::merge(const FabricFaultStats &other)
+{
+    outage_cycles += other.outage_cycles;
+    dropped += other.dropped;
+    duplicated += other.duplicated;
+    corrupted += other.corrupted;
+    shed += other.shed;
+    canceled += other.canceled;
+    stale_discards += other.stale_discards;
+    surge_enqueued += other.surge_enqueued;
+    surge_landed += other.surge_landed;
+    retried += other.retried;
+    degraded += other.degraded;
+    nacks += other.nacks;
+    duplicate_drops += other.duplicate_drops;
+    migrations += other.migrations;
 }
 
 void
@@ -58,6 +91,7 @@ FabricStats::merge(const FabricStats &other)
     deadline_misses += other.deadline_misses;
     probes += other.probes;
     probe_failures += other.probe_failures;
+    faults.merge(other.faults);
     if (per_link.size() < other.per_link.size()) {
         per_link.resize(other.per_link.size());
     }
@@ -111,6 +145,8 @@ run_fabric(const FabricFleetConfig &config)
             SystemConfig sconfig;
             sconfig.offchip = fleet.offchip;
             sconfig.tiers = fleet.tiers;
+            sconfig.offchip_timeout = config.timeout;
+            sconfig.offchip_retries = config.retries;
             std::vector<BtwcSystem> qubits;
             qubits.reserve(static_cast<size_t>(fleet.num_qubits));
             for (int q = 0; q < fleet.num_qubits; ++q) {
@@ -126,6 +162,12 @@ run_fabric(const FabricFleetConfig &config)
                           probs);
             for (const auto &[d, extra] : extra_codes) {
                 fabric.register_code(extra);
+            }
+            if (config.faults.enabled) {
+                fabric.set_fault_plan(config.faults);
+            }
+            if (config.shed) {
+                fabric.enable_shedding(true);
             }
             for (size_t q = 0; q < qubits.size(); ++q) {
                 qubits[q].attach_shared_service(
@@ -170,15 +212,28 @@ run_fabric(const FabricFleetConfig &config)
                         static_cast<uint64_t>(report.suppressed);
                 }
                 // All tenants stepped: advance every link one machine
-                // cycle and route the landings home.
+                // cycle and route the landings home. Empty corrections
+                // are shed nacks — delivered (they unblock the half)
+                // but not counted as landings.
                 for (const SharedOffchipService::Delivery &landing :
                      fabric.step()) {
                     qubits[static_cast<size_t>(landing.owner)]
                         .deliver_offchip_correction(landing.half,
                                                     landing.correction);
-                    ++stats
-                          .per_tenant[static_cast<size_t>(landing.owner)]
-                          .landed;
+                    if (!landing.correction.empty()) {
+                        ++stats
+                              .per_tenant[static_cast<size_t>(
+                                  landing.owner)]
+                              .landed;
+                    }
+                }
+                // Failover: re-attach migrated tenants so their next
+                // escalation lands on the new link.
+                for (const int q : fabric.migrated_now()) {
+                    qubits[static_cast<size_t>(q)].attach_shared_service(
+                        &fabric.link(
+                            static_cast<size_t>(fabric.link_of(q))),
+                        q);
                 }
                 stats.backlog.add(fabric.backlog());
                 stats.demand.add(offchip);
@@ -221,6 +276,15 @@ run_fabric(const FabricFleetConfig &config)
                 mine.work_cycles = link.work_cycles();
                 mine.max_backlog = link.max_backlog();
                 mine.deadline_misses = service.deadline_misses();
+                mine.outage_cycles = link.outage_cycles();
+                mine.dropped = service.dropped();
+                mine.duplicated = service.duplicated();
+                mine.corrupted = service.corrupted();
+                mine.shed = service.shed_requests();
+                mine.canceled = service.canceled();
+                mine.stale_discards = service.stale_discards();
+                mine.surge_enqueued = service.surge_enqueued();
+                mine.surge_landed = service.surge_landed();
                 mine.delay = service.delay_histogram();
                 stats.queue_delay.merge(service.delay_histogram());
                 stats.batch_sizes.merge(link.batch_histogram());
@@ -232,15 +296,39 @@ run_fabric(const FabricFleetConfig &config)
                 stats.served += link.served();
                 stats.landed += link.landed();
                 stats.deadline_misses += service.deadline_misses();
+                stats.faults.outage_cycles += link.outage_cycles();
+                stats.faults.dropped += service.dropped();
+                stats.faults.duplicated += service.duplicated();
+                stats.faults.corrupted += service.corrupted();
+                stats.faults.shed += service.shed_requests();
+                stats.faults.canceled += service.canceled();
+                stats.faults.stale_discards += service.stale_discards();
+                stats.faults.surge_enqueued += service.surge_enqueued();
+                stats.faults.surge_landed += service.surge_landed();
                 const std::vector<SharedOffchipService::TenantLinkStats>
                     &tenants = service.tenant_stats();
                 for (size_t q = 0; q < tenants.size(); ++q) {
                     TenantFabricStats &mine_t = stats.per_tenant[q];
                     mine_t.deadline_misses +=
                         tenants[q].deadline_misses;
+                    mine_t.dropped += tenants[q].dropped;
+                    mine_t.shed += tenants[q].shed;
+                    mine_t.canceled += tenants[q].canceled;
                     mine_t.delay.merge(tenants[q].delay);
                 }
             }
+            for (size_t q = 0; q < qubits.size(); ++q) {
+                TenantFabricStats &mine = stats.per_tenant[q];
+                mine.link = fabric.link_of(static_cast<int>(q));
+                mine.retried = qubits[q].retried_decodes();
+                mine.degraded = qubits[q].degraded_decodes();
+                stats.faults.retried += mine.retried;
+                stats.faults.degraded += mine.degraded;
+                stats.faults.nacks += qubits[q].shared_nacks();
+                stats.faults.duplicate_drops +=
+                    qubits[q].duplicate_drops();
+            }
+            stats.faults.migrations = fabric.migrations();
             stats.pending = fabric.pending();
             for (const TenantFabricStats &mine : stats.per_tenant) {
                 stats.suppressed += mine.suppressed;

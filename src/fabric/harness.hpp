@@ -29,6 +29,18 @@ struct FabricFleetConfig
      * error rate the SLO curves report next to the delay percentiles.
      */
     uint64_t probe_interval = 32;
+    /**
+     * Chaos mode (src/faults/): the fault plan injected into every
+     * link (`faults.enabled` gates installation — a disabled plan is
+     * the bit-exact fault-free run), the tenants' give-up budget and
+     * retry count (SystemConfig::offchip_timeout / offchip_retries),
+     * and link-side deadline load shedding. Failover lives in
+     * `topology.migrate_threshold`.
+     */
+    FaultPlan faults;
+    uint64_t timeout = 0;
+    int retries = 0;
+    bool shed = false;
 };
 
 /** Per-tenant observables of a fabric run (index = tenant). */
@@ -41,6 +53,12 @@ struct TenantFabricStats
     uint64_t deadline_misses = 0;
     uint64_t probes = 0;    ///< logical-failure probe closures taken
     uint64_t failures = 0;  ///< probes where either half had flipped
+    // Chaos-mode outcomes (all zero on a fault-free run).
+    uint64_t retried = 0;   ///< timed-out requests re-escalated
+    uint64_t degraded = 0;  ///< on-chip UF fallback decodes
+    uint64_t dropped = 0;   ///< deliveries lost on the down-link
+    uint64_t shed = 0;      ///< requests shed past deadline
+    uint64_t canceled = 0;  ///< requests canceled by give-ups
     /** Enqueue-to-landing delay of this tenant's corrections. */
     CountHistogram delay;
 
@@ -57,10 +75,46 @@ struct LinkFabricStats
     uint64_t work_cycles = 0;
     uint64_t max_backlog = 0;
     uint64_t deadline_misses = 0;
+    // Chaos-mode accounting (all zero on a fault-free run).
+    uint64_t outage_cycles = 0;
+    uint64_t dropped = 0;
+    uint64_t duplicated = 0;
+    uint64_t corrupted = 0;
+    uint64_t shed = 0;
+    uint64_t canceled = 0;
+    uint64_t stale_discards = 0;
+    uint64_t surge_enqueued = 0;
+    uint64_t surge_landed = 0;
     /** Service-side per-request delay of this link. */
     CountHistogram delay;
 
     void merge(const LinkFabricStats &other);
+};
+
+/**
+ * Fleet-wide chaos-mode aggregate: the fault plan's injections and
+ * the degradation machinery's responses, summed across links and
+ * tenants. All-zero on a fault-free run (and omitted from reports
+ * then), so the fault-free metrics stay byte-identical.
+ */
+struct FabricFaultStats
+{
+    uint64_t outage_cycles = 0;   ///< link-down cycles across links
+    uint64_t dropped = 0;         ///< deliveries lost
+    uint64_t duplicated = 0;      ///< deliveries duplicated
+    uint64_t corrupted = 0;       ///< corrections byte-flipped
+    uint64_t shed = 0;            ///< requests shed past deadline
+    uint64_t canceled = 0;        ///< requests canceled by give-ups
+    uint64_t stale_discards = 0;  ///< landings discarded after give-ups
+    uint64_t surge_enqueued = 0;  ///< synthetic surge requests injected
+    uint64_t surge_landed = 0;    ///< ... that consumed link service
+    uint64_t retried = 0;         ///< tenant retries after timeouts
+    uint64_t degraded = 0;        ///< on-chip UF fallback decodes
+    uint64_t nacks = 0;           ///< shed nacks tenants received
+    uint64_t duplicate_drops = 0; ///< duplicates tenants discarded
+    uint64_t migrations = 0;      ///< tenants moved off failed links
+
+    void merge(const FabricFaultStats &other);
 };
 
 /**
@@ -95,6 +149,8 @@ struct FabricStats
     uint64_t deadline_misses = 0;
     uint64_t probes = 0;
     uint64_t probe_failures = 0;
+    /** Chaos-mode aggregate (all zero on a fault-free run). */
+    FabricFaultStats faults;
     std::vector<LinkFabricStats> per_link;
     std::vector<TenantFabricStats> per_tenant;
 

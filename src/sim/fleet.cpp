@@ -191,6 +191,12 @@ ExactFleetStats::merge(const ExactFleetStats &other)
     landed += other.landed;
     suppressed += other.suppressed;
     pending += other.pending;
+    outage_cycles += other.outage_cycles;
+    dropped += other.dropped;
+    duplicated += other.duplicated;
+    corrupted += other.corrupted;
+    surge_enqueued += other.surge_enqueued;
+    surge_landed += other.surge_landed;
     if (per_qubit.size() < other.per_qubit.size()) {
         per_qubit.resize(other.per_qubit.size());
     }
@@ -305,6 +311,11 @@ fleet_demand_exact_stats(const ExactFleetConfig &config)
                 for (const auto &[d, extra] : extra_codes) {
                     service->register_code(extra);
                 }
+                if (config.faults.enabled) {
+                    service->set_fault_injector(
+                        std::make_unique<FaultInjector>(config.faults,
+                                                        0));
+                }
                 for (size_t q = 0; q < qubits.size(); ++q) {
                     qubits[q].attach_shared_service(&*service,
                                                     static_cast<int>(q));
@@ -312,6 +323,7 @@ fleet_demand_exact_stats(const ExactFleetConfig &config)
             }
             ExactFleetStats stats;
             stats.per_qubit.resize(qubits.size());
+            std::vector<std::pair<int, uint64_t>> surge_scratch;
             for (uint64_t cycle = 0; cycle < shard.cycles; ++cycle) {
                 // Demand = qubits that shipped a fresh escalation this
                 // cycle. Counting `report.offchip` instead would
@@ -337,6 +349,19 @@ fleet_demand_exact_stats(const ExactFleetConfig &config)
                     }
                 }
                 if (service) {
+                    // Fault-plan surges join this cycle's demand.
+                    if (config.faults.enabled &&
+                        !config.faults.surges.empty()) {
+                        surge_scratch.clear();
+                        config.faults.surges_at(
+                            service->queue().total_cycles(),
+                            &surge_scratch);
+                        for (const auto &surge : surge_scratch) {
+                            service->enqueue_synthetic(
+                                surge.first % config.num_qubits,
+                                surge.second);
+                        }
+                    }
                     // All tenants stepped: advance the shared link one
                     // machine cycle and route the landings home.
                     for (const SharedOffchipService::Delivery &landing :
@@ -363,6 +388,12 @@ fleet_demand_exact_stats(const ExactFleetConfig &config)
                 stats.served = link.served();
                 stats.landed = link.landed();
                 stats.pending = service->pending();
+                stats.outage_cycles = link.outage_cycles();
+                stats.dropped = service->dropped();
+                stats.duplicated = service->duplicated();
+                stats.corrupted = service->corrupted();
+                stats.surge_enqueued = service->surge_enqueued();
+                stats.surge_landed = service->surge_landed();
             } else {
                 for (const BtwcSystem &qubit : qubits) {
                     const OffchipQueue &link = qubit.offchip_queue();

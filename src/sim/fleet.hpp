@@ -152,6 +152,13 @@ struct ExactFleetConfig
      * `SharedOffchipService::register_code`.
      */
     std::vector<int> tenant_distances;
+    /**
+     * Chaos mode (src/faults/, shared link only): the fault plan
+     * injected into the single link, installed when `faults.enabled`.
+     * A plan with no firing clause is bit-exact with the fault-free
+     * run (the zero-fault contract, pinned in tests/test_faults.cpp).
+     */
+    FaultPlan faults;
 };
 
 /** Tenant q's physical error rate (`tenant_probs` override or `p`). */
@@ -217,6 +224,13 @@ struct ExactFleetStats
     uint64_t landed = 0;
     uint64_t suppressed = 0;  ///< reconciliation-contract deferrals
     uint64_t pending = 0;     ///< outstanding when the run ended
+    // Chaos-mode accounting (shared link; all zero fault-free).
+    uint64_t outage_cycles = 0;   ///< link-down cycles
+    uint64_t dropped = 0;         ///< deliveries lost
+    uint64_t duplicated = 0;      ///< deliveries duplicated
+    uint64_t corrupted = 0;       ///< corrections byte-flipped
+    uint64_t surge_enqueued = 0;  ///< synthetic surge requests
+    uint64_t surge_landed = 0;    ///< ... that consumed link service
     std::vector<QubitServiceStats> per_qubit;
 
     void merge(const ExactFleetStats &other);

@@ -51,6 +51,15 @@ extract() {
         sed -E 's/.*: *//' || true
 }
 
+extract_last() {
+    # extract_last <blob> <key>: last numeric value of a JSON key. The
+    # chaos artifacts repeat keys like "degraded" in the per-tenant
+    # table before the metrics.faults aggregate; the Report's stable
+    # key order puts the aggregate last.
+    printf '%s' "$1" | grep -oE "\"$2\": *-?[0-9.eE+-]+" | tail -1 |
+        sed -E 's/.*: *//' || true
+}
+
 for file in "${FILES[@]}"; do
     echo "== ${file} =="
     COMMITS="$(git log --format=%H --reverse -- "${file}")"
@@ -68,10 +77,21 @@ for file in "${FILES[@]}"; do
         RATES="$(printf '%s' "${BLOB}" |
             grep -oE '"[a-z_]+_per_sec": *[0-9.eE+-]+' |
             sed -E 's/"([a-z_]+)": */\1=/' | paste -sd' ' - || true)"
-        printf '%-10s %-12s %12s  %s\n' \
+        # Chaos-mode artifacts additionally carry the metrics.faults
+        # degradation ledger; surface its headline counters so the
+        # graceful-degradation trend reads next to the perf one.
+        CHAOS=""
+        if printf '%s' "${BLOB}" | grep -Fq '"faults"'; then
+            SHED="$(extract_last "${BLOB}" shed)"
+            DEGRADED="$(extract_last "${BLOB}" degraded)"
+            MIGRATIONS="$(extract_last "${BLOB}" migrations)"
+            CHAOS=" shed=${SHED:--} degraded=${DEGRADED:--}"
+            CHAOS+=" migrations=${MIGRATIONS:--}"
+        fi
+        printf '%-10s %-12s %12s  %s%s\n' \
             "$(git rev-parse --short "${commit}")" \
             "$(git show -s --format=%cs "${commit}")" \
-            "${WALL:--}" "${RATES:--}"
+            "${WALL:--}" "${RATES:--}" "${CHAOS}"
     done
     echo
 done
